@@ -1,0 +1,51 @@
+"""Ablation — LoRA rank and quantization precision for ICL fine-tuning.
+
+The paper fixes rank 64 / scaling 128 / 4-bit quantization at 7B scale; this
+ablation sweeps the laptop-scale equivalents and records the trainable-
+parameter share, fine-tuning time, and resulting accuracy.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.icl import ICLEngine, ICLFineTuneConfig, ICLFineTuner
+from repro.models.quantization import quantization_error
+from repro.nn import Linear
+
+CONFIGS = [
+    {"lora_rank": 2, "quantization_bits": 8},
+    {"lora_rank": 8, "quantization_bits": 8},
+    {"lora_rank": 8, "quantization_bits": 4},
+    {"lora_rank": 16, "quantization_bits": None},
+]
+
+
+def test_ablation_lora_rank_and_quantization(benchmark, genome, registry):
+    test = genome.test.subsample(100, rng=17)
+
+    def run_experiment():
+        rows = []
+        for overrides in CONFIGS:
+            model = registry.load_decoder("gpt2")
+            engine = ICLEngine(model, registry.tokenizer)
+            config = ICLFineTuneConfig(epochs=3, batch_size=16, seed=0, **overrides)
+            tuner = ICLFineTuner(model, registry.tokenizer, config)
+            result = tuner.finetune_split(genome.train, max_records=500)
+            report = engine.evaluate(test.records, test.labels(), num_examples=0)
+            rows.append({
+                "lora_rank": overrides["lora_rank"],
+                "quant_bits": str(overrides["quantization_bits"]),
+                "trainable_%": 100 * result.parameter_summary.trainable_fraction,
+                "train_time_s": result.train_time_seconds,
+                "accuracy": report.accuracy,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("Ablation — LoRA rank / quantization bits (gpt2 stand-in, zero-shot eval)", rows)
+
+    # Quantization error shrinks with precision (mechanism check).
+    layer = Linear(64, 64, rng=0)
+    assert quantization_error(layer, bits=4) > quantization_error(layer, bits=8)
+    # All configurations produce usable detectors.
+    assert all(r["accuracy"] > 0.5 for r in rows)

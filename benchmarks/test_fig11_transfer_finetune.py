@@ -1,0 +1,35 @@
+"""Fig. 11 — fine-tuning for transfer: accuracy on Montage as a growing
+percentage of Montage training data is used to adapt a 1000 Genome model."""
+
+from __future__ import annotations
+
+from conftest import print_table, train_sft
+from repro.training import finetune_on_target
+
+
+def test_fig11_finetune_for_transfer(benchmark, datasets, registry):
+    genome, montage = datasets["1000genome"], datasets["montage"]
+
+    def run_experiment():
+        source_trainer = train_sft(registry, genome, "bert-base-uncased", epochs=3, train_size=500)
+        return finetune_on_target(
+            source_trainer,
+            montage.train.subsample(800, rng=0),
+            montage.test.subsample(400, rng=1),
+            fractions=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+            epochs_per_stage=1,
+        )
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "Fig. 11 — accuracy on Montage vs % of Montage training data (source: 1000 Genome)",
+        [{"pct_target_data": int(r["fraction"] * 100), "accuracy": r["accuracy"], "f1": r["f1"]} for r in rows],
+    )
+
+    zero_shot = rows[0]["accuracy"]
+    best_adapted = max(r["accuracy"] for r in rows[1:])
+    # Target-domain fine-tuning improves over the unadapted source model.
+    assert best_adapted >= zero_shot
+    # With the full target data the adapted model is clearly better than majority class.
+    majority = 1 - montage.test.anomaly_fraction()
+    assert rows[-1]["accuracy"] > majority - 0.05

@@ -1,0 +1,45 @@
+"""Fig. 5 — fine-tuning time vs. number of parameters across encoder checkpoints.
+
+Claims reproduced: training time grows with the parameter count, and a larger
+model is not automatically more accurate (the paper's xlnet vs. distilbert
+observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_table, train_sft
+
+MODELS = ["albert-base-v2", "distilbert-base-uncased", "bert-base-uncased", "bert-large-uncased",
+          "xlnet-large-cased"]
+
+
+def test_fig5_training_time_vs_parameters(benchmark, genome, registry):
+    def run_experiment():
+        rows = []
+        for name in MODELS:
+            trainer = train_sft(registry, genome, name, epochs=2, train_size=500)
+            rows.append(
+                {
+                    "model": name,
+                    "parameters": trainer.model.num_parameters(),
+                    "train_time_s": trainer.history.train_time_seconds,
+                    "test_acc": trainer.evaluate_split(genome.test.subsample(400, rng=2)).accuracy,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("Fig. 5 — training time vs parameters (1000 Genome)", rows)
+
+    params = np.array([r["parameters"] for r in rows], dtype=float)
+    times = np.array([r["train_time_s"] for r in rows])
+    accs = np.array([r["test_acc"] for r in rows])
+    # Training time correlates positively with parameter count.
+    correlation = np.corrcoef(params, times)[0, 1]
+    assert correlation > 0.5
+    # Accuracy is NOT monotone in parameter count (bigger is not always better).
+    largest = int(np.argmax(params))
+    assert accs[largest] <= accs.max() + 1e-9
+    assert not np.all(np.argsort(params) == np.argsort(accs))

@@ -1,0 +1,28 @@
+"""Table I — dataset statistics (normal / anomalous counts and anomaly fraction per split)."""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+PAPER_FRACTIONS = {"1000genome": 0.3264, "montage": 0.2047, "predict_future_sales": 0.1857}
+
+
+def test_table1_dataset_statistics(benchmark, datasets):
+    def build_rows():
+        rows = []
+        for name, dataset in datasets.items():
+            for stat in dataset.statistics():
+                stat["paper_train_fraction"] = PAPER_FRACTIONS[name]
+                rows.append(stat)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table("Table I — dataset statistics (laptop-scale traces)", rows)
+
+    for name, dataset in datasets.items():
+        train_fraction = dataset.train.anomaly_fraction()
+        # The injected anomaly rate tracks the paper's fraction to within ~10 points.
+        assert abs(train_fraction - PAPER_FRACTIONS[name]) < 0.12
+        # Splits follow the 8:1:1 protocol.
+        total = sum(len(s) for s in dataset.splits().values())
+        assert abs(len(dataset.train) / total - 0.8) < 0.05

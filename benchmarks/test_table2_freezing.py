@@ -1,0 +1,68 @@
+"""Table II — overcoming catastrophic forgetting by freezing parameters.
+
+Columns reproduced: SFT(D1) all-params, SFT(D1+D2) all-params, SFT(D1+D2)
+linear-head-only.  D1 = 1000 Genome, D2 = Montage.  Claims: continuing full
+fine-tuning on D2 degrades D1 accuracy (catastrophic forgetting); freezing the
+backbone and updating only the linear head retains D1 performance and is much
+cheaper to train.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, train_sft
+from repro.training import SFTTrainer, TrainingConfig, freeze_for_transfer
+
+
+def test_table2_freezing_parameters(benchmark, datasets, registry):
+    genome, montage = datasets["1000genome"], datasets["montage"]
+    d1_test = genome.test.subsample(500, rng=9)
+    d2_train = montage.train.subsample(500, rng=9)
+
+    def run_experiment():
+        # Column 1: SFT on D1, all parameters.
+        base = train_sft(registry, genome, "bert-base-uncased", epochs=3, train_size=600)
+        d1_metrics = base.evaluate_split(d1_test)
+        d1_time = base.history.train_time_seconds
+        base_state = base.model.state_dict()
+
+        # Column 2: continue SFT on D2 with ALL parameters (forgets D1).
+        base.model.load_state_dict(base_state)
+        freeze_for_transfer(base.model, "all")
+        all_trainer = SFTTrainer(base.model, registry.tokenizer,
+                                 TrainingConfig(epochs=2, max_length=40, seed=1))
+        all_trainer.fit(d2_train.sentences(), d2_train.labels())
+        all_metrics = all_trainer.evaluate_split(d1_test)
+        all_time = d1_time + all_trainer.history.train_time_seconds
+
+        # Column 3: continue SFT on D2 updating only the linear head.
+        base.model.load_state_dict(base_state)
+        counts = freeze_for_transfer(base.model, "linear")
+        linear_trainer = SFTTrainer(base.model, registry.tokenizer,
+                                    TrainingConfig(epochs=2, max_length=40, seed=1))
+        linear_trainer.fit(d2_train.sentences(), d2_train.labels())
+        linear_metrics = linear_trainer.evaluate_split(d1_test)
+        linear_time = d1_time + linear_trainer.history.train_time_seconds
+        base.model.unfreeze()
+
+        return [
+            {"setting": "SFT (D1), all params", "accuracy_on_D1": d1_metrics.accuracy,
+             "precision_on_D1": d1_metrics.precision, "train_time_s": d1_time},
+            {"setting": "SFT (D1+D2), all params", "accuracy_on_D1": all_metrics.accuracy,
+             "precision_on_D1": all_metrics.precision, "train_time_s": all_time},
+            {"setting": "SFT (D1+D2), linear head only", "accuracy_on_D1": linear_metrics.accuracy,
+             "precision_on_D1": linear_metrics.precision, "train_time_s": linear_time},
+        ], counts
+
+    rows, counts = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("Table II — freezing parameters (D1=1000 Genome, D2=Montage)", rows)
+    print(f"linear-only trainable parameters: {counts['trainable']} / {counts['total']}")
+
+    d1_only, d1d2_all, d1d2_linear = (r["accuracy_on_D1"] for r in rows)
+    # Catastrophic forgetting: full fine-tuning on D2 hurts D1 accuracy.
+    assert d1d2_all <= d1_only + 0.02
+    # Freezing mitigates the forgetting relative to full fine-tuning.
+    assert d1d2_linear >= d1d2_all - 0.02
+    # Linear-only adaptation updates a tiny fraction of the parameters.
+    assert counts["trainable"] < 0.05 * counts["total"]
+    # And its incremental training is faster than full fine-tuning on D2.
+    assert rows[2]["train_time_s"] <= rows[1]["train_time_s"] * 1.2

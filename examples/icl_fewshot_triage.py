@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Few-shot anomaly triage with in-context learning (paper Table III / Fig. 13).
+
+Scenario: an operations team has only a handful of labeled jobs.  Instead of
+fine-tuning an encoder, a causal LM is *prompted* with those examples; a
+chain-of-thought prompt additionally produces a human-readable rationale for
+each decision.  The script also shows the quantization + LoRA fine-tuning
+step that lifts accuracy when a few hundred labels are available.
+
+Run:  python examples/icl_fewshot_triage.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_dataset
+from repro.icl import (
+    ChainOfThoughtExplainer,
+    FewShotSelector,
+    ICLEngine,
+    ICLFineTuneConfig,
+    ICLFineTuner,
+)
+from repro.models import default_registry
+
+
+def main() -> None:
+    dataset = generate_dataset("1000genome", num_traces=6, seed=5)
+    registry = default_registry(pretrain_steps=20)
+    model = registry.load_decoder("mistral-7b")
+    engine = ICLEngine(model, registry.tokenizer)
+    test = dataset.test.subsample(100, rng=0)
+
+    # --- zero-shot and few-shot prompting ----------------------------------
+    selector = FewShotSelector(dataset.train.records[:400], mode="mixed", seed=0)
+    zero_shot = engine.evaluate(test.records, test.labels(), num_examples=0)
+    few_shot = engine.evaluate(test.records, test.labels(), selector=selector, num_examples=5)
+    print(f"zero-shot accuracy:            {zero_shot.accuracy:.3f}")
+    print(f"few-shot accuracy (5 mixed):   {few_shot.accuracy:.3f}")
+
+    # --- parameter-efficient fine-tuning (quantization + LoRA) -------------
+    tuner = ICLFineTuner(model, registry.tokenizer, ICLFineTuneConfig(epochs=4, seed=0))
+    result = tuner.finetune_split(dataset.train, max_records=600)
+    print(f"\nLoRA fine-tuning: {result.parameter_summary} "
+          f"({result.train_time_seconds:.1f}s, final loss {result.losses[-1]:.3f})")
+    tuned = engine.evaluate(test.records, test.labels(), num_examples=0)
+    print(f"fine-tuned accuracy:           {tuned.accuracy:.3f}")
+
+    # --- chain-of-thought rationale for one job ----------------------------
+    explainer = ChainOfThoughtExplainer(engine, dataset.train.records[:600])
+    query = next(r for r in test.records if r.label == 1)
+    explanation = explainer.explain(query, selector.select(4))
+    print("\n--- Chain-of-thought rationale ------------------------------------")
+    print(explanation.text())
+    print(f"\ntrue label: {'Abnormal' if query.label else 'Normal'}, "
+          f"model verdict: {explanation.category}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Classical baselines the paper compares against.
+
+Supervised: a multi-layer perceptron and a graph convolutional network over
+the workflow DAG (Fig. 4, following the authors' earlier GNN work).
+Unsupervised (Table IV): Isolation Forest, PCA reconstruction error, an MLP
+autoencoder, a GCN autoencoder, and the AnomalyDAE dual autoencoder.  All are
+implemented from scratch on NumPy / the in-house autograd engine.
+"""
+
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.gnn import GCNClassifier, normalized_adjacency
+from repro.baselines.unsupervised import (
+    UnsupervisedDetector,
+    IsolationForestDetector,
+    PCADetector,
+    MLPAutoencoderDetector,
+    GCNAutoencoderDetector,
+    AnomalyDAEDetector,
+    evaluate_detector,
+)
+
+__all__ = [
+    "MLPClassifier",
+    "GCNClassifier",
+    "normalized_adjacency",
+    "UnsupervisedDetector",
+    "IsolationForestDetector",
+    "PCADetector",
+    "MLPAutoencoderDetector",
+    "GCNAutoencoderDetector",
+    "AnomalyDAEDetector",
+    "evaluate_detector",
+]

@@ -1,0 +1,100 @@
+"""Supervised multi-layer-perceptron baseline (the "MLP" bar of Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Module, ReLU, Sequential, Dropout
+from repro.tensor import Tensor, no_grad, functional as F
+from repro.training.loss import classification_loss
+from repro.training.metrics import MetricReport, classification_report
+from repro.training.optim import Adam
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(Module):
+    """A small fully-connected classifier on the numeric job features.
+
+    This is the conventional-ML baseline: it consumes the standardized
+    feature vectors directly (no text, no tokenizer) and is trained with
+    Adam + cross entropy.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: tuple[int, ...] = (64, 32),
+        num_classes: int = 2,
+        dropout: float = 0.1,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        rngs = spawn_rngs(new_rng(seed), len(hidden_dims) + 1)
+        layers: list[Module] = []
+        previous = input_dim
+        for i, width in enumerate(hidden_dims):
+            layers.append(Linear(previous, width, rng=rngs[i]))
+            layers.append(ReLU())
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng=rngs[i]))
+            previous = width
+        layers.append(Linear(previous, num_classes, rng=rngs[-1]))
+        self.network = Sequential(*layers)
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray | Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float32))
+        return self.network(x)
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        *,
+        epochs: int = 30,
+        batch_size: int = 64,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ) -> list[float]:
+        """Train with mini-batch Adam; returns the per-epoch loss curve."""
+        features = np.asarray(features, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) != len(labels):
+            raise ValueError("features and labels length mismatch")
+        rng = new_rng(seed)
+        optimizer = Adam(list(self.parameters()), lr=learning_rate)
+        losses = []
+        self.train()
+        for _ in range(epochs):
+            order = rng.permutation(len(labels))
+            epoch_loss = 0.0
+            for start in range(0, len(labels), batch_size):
+                idx = order[start : start + batch_size]
+                logits = self.forward(features[idx])
+                loss = classification_loss(logits, labels[idx])
+                self.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.data) * len(idx)
+            losses.append(epoch_loss / len(labels))
+        self.eval()
+        return losses
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self.eval()
+        with no_grad():
+            logits = self.forward(np.asarray(features, dtype=np.float32))
+            return F.softmax(logits, axis=-1).data
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=-1)
+
+    def evaluate(self, features: np.ndarray, labels: np.ndarray) -> MetricReport:
+        return classification_report(np.asarray(labels, dtype=np.int64), self.predict(features))

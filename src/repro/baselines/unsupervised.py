@@ -1,0 +1,477 @@
+"""Unsupervised anomaly detectors compared against zero-shot LLMs (Table IV).
+
+All detectors follow the same protocol as in Flow-Bench: fit on unlabeled
+training features, produce a continuous anomaly score per test job, and are
+evaluated with ROC-AUC, average precision and precision@k.
+
+Implemented from scratch:
+
+* :class:`IsolationForestDetector` — random isolation trees, score = inverse
+  expected path length (Liu et al. 2008);
+* :class:`PCADetector` — reconstruction error in a truncated principal
+  subspace (Shyu et al. 2003);
+* :class:`MLPAutoencoderDetector` — fully-connected autoencoder
+  reconstruction error (Sakurada & Yairi 2014);
+* :class:`GCNAutoencoderDetector` — graph-convolutional autoencoder over the
+  workflow DAG (Kipf & Welling 2016);
+* :class:`AnomalyDAEDetector` — dual (structure + attribute) autoencoder
+  (Fan et al. 2020).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gnn import normalized_adjacency
+from repro.nn import Linear, Module
+from repro.tensor import Tensor, no_grad, functional as F
+from repro.training.metrics import average_precision_score, precision_at_k, roc_auc_score
+from repro.training.optim import Adam
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = [
+    "UnsupervisedDetector",
+    "IsolationForestDetector",
+    "PCADetector",
+    "MLPAutoencoderDetector",
+    "GCNAutoencoderDetector",
+    "AnomalyDAEDetector",
+    "evaluate_detector",
+]
+
+
+class UnsupervisedDetector:
+    """Interface: ``fit(features)`` then ``score(features)`` (higher = more anomalous)."""
+
+    name: str = "detector"
+
+    def fit(self, features: np.ndarray) -> "UnsupervisedDetector":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def score(self, features: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# Isolation Forest
+# --------------------------------------------------------------------------- #
+class _IsolationTree:
+    """One randomly grown isolation tree, stored in flat arrays."""
+
+    def __init__(self, data: np.ndarray, max_depth: int, rng: np.random.Generator) -> None:
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.size: list[int] = []
+        self._grow(data, 0, max_depth, rng)
+
+    def _grow(self, data: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator) -> int:
+        node = len(self.feature)
+        self.feature.append(-1)
+        self.threshold.append(0.0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.size.append(len(data))
+        if depth >= max_depth or len(data) <= 1:
+            return node
+        # Pick a feature with spread; give up if all features are constant.
+        spreads = data.max(axis=0) - data.min(axis=0)
+        candidates = np.flatnonzero(spreads > 0)
+        if len(candidates) == 0:
+            return node
+        feature = int(rng.choice(candidates))
+        low, high = data[:, feature].min(), data[:, feature].max()
+        threshold = float(rng.uniform(low, high))
+        mask = data[:, feature] < threshold
+        if mask.all() or (~mask).all():
+            return node
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.left[node] = self._grow(data[mask], depth + 1, max_depth, rng)
+        self.right[node] = self._grow(data[~mask], depth + 1, max_depth, rng)
+        return node
+
+    def path_length(self, points: np.ndarray) -> np.ndarray:
+        lengths = np.zeros(len(points))
+        for i, point in enumerate(points):
+            node = 0
+            depth = 0
+            while self.feature[node] != -1:
+                node = self.left[node] if point[self.feature[node]] < self.threshold[node] else self.right[node]
+                depth += 1
+            lengths[i] = depth + _average_path_length(self.size[node])
+        return lengths
+
+
+def _average_path_length(n: int) -> float:
+    """Expected path length of an unsuccessful BST search (c(n) in the paper)."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = np.log(n - 1) + 0.5772156649
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+class IsolationForestDetector(UnsupervisedDetector):
+    """Isolation Forest: anomalies are isolated in few random splits."""
+
+    name = "IF"
+
+    def __init__(
+        self, n_trees: int = 100, subsample: int = 256, seed: int | np.random.Generator | None = 0
+    ) -> None:
+        if n_trees <= 0 or subsample <= 1:
+            raise ValueError("n_trees must be positive and subsample > 1")
+        self.n_trees = n_trees
+        self.subsample = subsample
+        self.rng = new_rng(seed)
+        self.trees: list[_IsolationTree] = []
+        self._c = 1.0
+
+    def fit(self, features: np.ndarray) -> "IsolationForestDetector":
+        features = np.asarray(features, dtype=np.float64)
+        n = len(features)
+        if n == 0:
+            raise ValueError("cannot fit on an empty feature matrix")
+        sample_size = min(self.subsample, n)
+        max_depth = int(np.ceil(np.log2(max(sample_size, 2))))
+        self.trees = []
+        for _ in range(self.n_trees):
+            idx = self.rng.choice(n, size=sample_size, replace=False)
+            self.trees.append(_IsolationTree(features[idx], max_depth, self.rng))
+        self._c = _average_path_length(sample_size)
+        return self
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("detector must be fitted before scoring")
+        features = np.asarray(features, dtype=np.float64)
+        mean_depth = np.mean([tree.path_length(features) for tree in self.trees], axis=0)
+        return np.asarray(2.0 ** (-mean_depth / max(self._c, 1e-9)))
+
+
+# --------------------------------------------------------------------------- #
+# PCA reconstruction error
+# --------------------------------------------------------------------------- #
+class PCADetector(UnsupervisedDetector):
+    """Score = reconstruction error outside the top-``k`` principal subspace."""
+
+    name = "PCA"
+
+    def __init__(self, n_components: int = 3) -> None:
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "PCADetector":
+        features = np.asarray(features, dtype=np.float64)
+        self.mean_ = features.mean(axis=0)
+        centered = features - self.mean_
+        # Economy SVD: we only need the top components (see HPC guide notes).
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        return self
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("detector must be fitted before scoring")
+        centered = np.asarray(features, dtype=np.float64) - self.mean_
+        projected = centered @ self.components_.T @ self.components_
+        return np.linalg.norm(centered - projected, axis=1)
+
+
+# --------------------------------------------------------------------------- #
+# MLP autoencoder
+# --------------------------------------------------------------------------- #
+class _MLPAutoencoder(Module):
+    def __init__(self, input_dim: int, bottleneck: int, rng) -> None:
+        super().__init__()
+        rngs = spawn_rngs(rng, 4)
+        hidden = max(input_dim * 2, bottleneck * 2)
+        self.enc1 = Linear(input_dim, hidden, rng=rngs[0])
+        self.enc2 = Linear(hidden, bottleneck, rng=rngs[1])
+        self.dec1 = Linear(bottleneck, hidden, rng=rngs[2])
+        self.dec2 = Linear(hidden, input_dim, rng=rngs[3])
+
+    def forward(self, x: Tensor) -> Tensor:
+        z = self.enc2(self.enc1(x).relu()).relu()
+        return self.dec2(self.dec1(z).relu())
+
+
+class MLPAutoencoderDetector(UnsupervisedDetector):
+    """Autoencoder reconstruction error (MLPAE)."""
+
+    name = "MLPAE"
+
+    def __init__(
+        self,
+        bottleneck: int = 3,
+        epochs: int = 40,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.bottleneck = bottleneck
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.rng = new_rng(seed)
+        self.model: _MLPAutoencoder | None = None
+
+    def fit(self, features: np.ndarray) -> "MLPAutoencoderDetector":
+        features = np.asarray(features, dtype=np.float32)
+        self.model = _MLPAutoencoder(features.shape[1], self.bottleneck, self.rng)
+        optimizer = Adam(list(self.model.parameters()), lr=self.learning_rate)
+        self.model.train()
+        for _ in range(self.epochs):
+            order = self.rng.permutation(len(features))
+            for start in range(0, len(features), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                batch = Tensor(features[idx])
+                recon = self.model(batch)
+                loss = F.mse_loss(recon, features[idx])
+                self.model.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self.model.eval()
+        return self
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("detector must be fitted before scoring")
+        features = np.asarray(features, dtype=np.float32)
+        with no_grad():
+            recon = self.model(Tensor(features)).data
+        return np.mean((recon - features) ** 2, axis=1)
+
+
+# --------------------------------------------------------------------------- #
+# GCN autoencoder
+# --------------------------------------------------------------------------- #
+class _GCNAutoencoder(Module):
+    def __init__(self, input_dim: int, hidden: int, bottleneck: int, rng) -> None:
+        super().__init__()
+        rngs = spawn_rngs(rng, 3)
+        self.enc1 = Linear(input_dim, hidden, rng=rngs[0])
+        self.enc2 = Linear(hidden, bottleneck, rng=rngs[1])
+        self.dec = Linear(bottleneck, input_dim, rng=rngs[2])
+
+    def forward(self, adjacency_norm: np.ndarray, features: Tensor) -> Tensor:
+        a = Tensor(adjacency_norm)
+        h = a.matmul(self.enc1(features)).relu()
+        z = a.matmul(self.enc2(h)).relu()
+        return self.dec(z)
+
+
+class GCNAutoencoderDetector(UnsupervisedDetector):
+    """Graph autoencoder: reconstruction error of node attributes (GCNAE)."""
+
+    name = "GCNAE"
+
+    def __init__(
+        self,
+        hidden: int = 16,
+        bottleneck: int = 4,
+        epochs: int = 40,
+        learning_rate: float = 5e-3,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.hidden = hidden
+        self.bottleneck = bottleneck
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.rng = new_rng(seed)
+        self.model: _GCNAutoencoder | None = None
+
+    def fit_graphs(self, graphs: list[dict[str, np.ndarray]]) -> "GCNAutoencoderDetector":
+        """Fit on a list of execution graphs (adjacency + features)."""
+        if not graphs:
+            raise ValueError("fit_graphs requires at least one graph")
+        input_dim = graphs[0]["features"].shape[1]
+        self.model = _GCNAutoencoder(input_dim, self.hidden, self.bottleneck, self.rng)
+        optimizer = Adam(list(self.model.parameters()), lr=self.learning_rate)
+        self.model.train()
+        for _ in range(self.epochs):
+            for graph in graphs:
+                adjacency_norm = normalized_adjacency(graph["adjacency"])
+                features = np.asarray(graph["features"], dtype=np.float32)
+                recon = self.model(adjacency_norm, Tensor(features))
+                loss = F.mse_loss(recon, features)
+                self.model.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self.model.eval()
+        return self
+
+    # UnsupervisedDetector protocol: treat a plain feature matrix as a graph
+    # with no edges so the detector composes with the tabular evaluation.
+    def fit(self, features: np.ndarray) -> "GCNAutoencoderDetector":
+        features = np.asarray(features, dtype=np.float32)
+        graph = {"adjacency": np.zeros((len(features), len(features)), dtype=np.float32), "features": features}
+        return self.fit_graphs([graph])
+
+    def score_graph(self, graph: dict[str, np.ndarray]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("detector must be fitted before scoring")
+        adjacency_norm = normalized_adjacency(graph["adjacency"])
+        features = np.asarray(graph["features"], dtype=np.float32)
+        with no_grad():
+            recon = self.model(adjacency_norm, Tensor(features)).data
+        return np.mean((recon - features) ** 2, axis=1)
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float32)
+        graph = {"adjacency": np.zeros((len(features), len(features)), dtype=np.float32), "features": features}
+        return self.score_graph(graph)
+
+
+# --------------------------------------------------------------------------- #
+# AnomalyDAE (dual autoencoder)
+# --------------------------------------------------------------------------- #
+class _AnomalyDAE(Module):
+    def __init__(self, input_dim: int, num_nodes: int, hidden: int, rng) -> None:
+        super().__init__()
+        rngs = spawn_rngs(rng, 4)
+        # Structure branch: embeds nodes and reconstructs the adjacency.
+        self.struct_enc = Linear(input_dim, hidden, rng=rngs[0])
+        self.struct_emb = Linear(hidden, hidden, rng=rngs[1])
+        # Attribute branch: embeds attributes and reconstructs them.
+        self.attr_enc = Linear(num_nodes, hidden, rng=rngs[2])
+        self.attr_emb = Linear(hidden, hidden, rng=rngs[3])
+
+    def forward(self, adjacency_norm: np.ndarray, features: Tensor) -> tuple[Tensor, Tensor]:
+        a = Tensor(adjacency_norm)
+        node_emb = self.struct_emb(a.matmul(self.struct_enc(features)).relu())
+        attr_emb = self.attr_emb(self.attr_enc(features.transpose()).relu())
+        adj_recon = node_emb.matmul(node_emb.transpose())
+        attr_recon = node_emb.matmul(attr_emb.transpose())
+        return adj_recon, attr_recon
+
+
+class AnomalyDAEDetector(UnsupervisedDetector):
+    """Dual autoencoder combining structure and attribute reconstruction.
+
+    The anomaly score of a node is ``alpha * structure error + (1 - alpha) *
+    attribute error``.  The structure branch requires materialising an
+    ``N × N`` reconstruction, so on very large graphs this detector can run
+    out of memory — Table IV of the paper indeed reports OOM for it; the
+    ``max_nodes`` guard reproduces that failure mode explicitly.
+    """
+
+    name = "AnomalyDAE"
+
+    def __init__(
+        self,
+        hidden: int = 16,
+        alpha: float = 0.5,
+        epochs: int = 30,
+        learning_rate: float = 5e-3,
+        max_nodes: int = 20000,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self.hidden = hidden
+        self.alpha = alpha
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.max_nodes = max_nodes
+        self.rng = new_rng(seed)
+        self.model: _AnomalyDAE | None = None
+        self._train_graph: dict[str, np.ndarray] | None = None
+
+    def fit_graph(self, graph: dict[str, np.ndarray]) -> "AnomalyDAEDetector":
+        features = np.asarray(graph["features"], dtype=np.float32)
+        num_nodes = len(features)
+        if num_nodes > self.max_nodes:
+            raise MemoryError(
+                f"AnomalyDAE requires an {num_nodes}x{num_nodes} dense reconstruction, "
+                f"exceeding the configured limit of {self.max_nodes} nodes"
+            )
+        adjacency = np.asarray(graph["adjacency"], dtype=np.float32)
+        adjacency_norm = normalized_adjacency(adjacency)
+        self.model = _AnomalyDAE(features.shape[1], num_nodes, self.hidden, self.rng)
+        optimizer = Adam(list(self.model.parameters()), lr=self.learning_rate)
+        self.model.train()
+        for _ in range(self.epochs):
+            adj_recon, attr_recon = self.model(adjacency_norm, Tensor(features))
+            loss = self.alpha * F.mse_loss(adj_recon, adjacency) + (1 - self.alpha) * F.mse_loss(
+                attr_recon, features
+            )
+            self.model.zero_grad()
+            loss.backward()
+            optimizer.step()
+        self.model.eval()
+        self._train_graph = {"adjacency": adjacency, "features": features}
+        return self
+
+    def fit(self, features: np.ndarray) -> "AnomalyDAEDetector":
+        features = np.asarray(features, dtype=np.float32)
+        graph = {
+            "adjacency": np.zeros((len(features), len(features)), dtype=np.float32),
+            "features": features,
+        }
+        return self.fit_graph(graph)
+
+    def score_graph(self, graph: dict[str, np.ndarray]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("detector must be fitted before scoring")
+        features = np.asarray(graph["features"], dtype=np.float32)
+        if len(features) > self.max_nodes:
+            raise MemoryError("graph too large for AnomalyDAE scoring")
+        adjacency = np.asarray(graph["adjacency"], dtype=np.float32)
+        adjacency_norm = normalized_adjacency(adjacency)
+        with no_grad():
+            adj_recon, attr_recon = self.model(adjacency_norm, Tensor(features))
+        struct_err = np.mean((adj_recon.data - adjacency) ** 2, axis=1)
+        attr_err = np.mean((attr_recon.data - features) ** 2, axis=1)
+        return self.alpha * struct_err + (1 - self.alpha) * attr_err
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float32)
+        graph = {
+            "adjacency": np.zeros((len(features), len(features)), dtype=np.float32),
+            "features": features,
+        }
+        return self.score_graph(graph)
+
+
+# --------------------------------------------------------------------------- #
+# evaluation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DetectorScores:
+    """ROC-AUC / average precision / precision@k triple (one row of Table IV)."""
+
+    name: str
+    roc_auc: float
+    average_precision: float
+    precision_at_k: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "roc_auc": self.roc_auc,
+            "average_precision": self.average_precision,
+            "precision_at_k": self.precision_at_k,
+        }
+
+
+def evaluate_detector(
+    name: str, scores: np.ndarray, labels: np.ndarray, k: int | None = None
+) -> DetectorScores:
+    """Compute the Table IV metrics for one detector's anomaly scores."""
+    labels = np.asarray(labels, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    return DetectorScores(
+        name=name,
+        roc_auc=roc_auc_score(labels, scores),
+        average_precision=average_precision_score(labels, scores),
+        precision_at_k=precision_at_k(labels, scores, k),
+    )

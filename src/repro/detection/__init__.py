@@ -1,0 +1,20 @@
+"""End-user detection API: batch pipeline, online detection, early detection.
+
+:class:`~repro.detection.pipeline.WorkflowAnomalyDetector` is the main entry
+point a system administrator would use (the paper's motivation: anomaly
+detection without ML expertise): give it a model name and labeled log
+sentences, call ``fit``, then ``predict`` on new logs — or feed it a stream
+of partially observed jobs for real-time detection (Fig. 7 / Fig. 8).
+"""
+
+from repro.detection.online import OnlineDetector, StreamingPrediction
+from repro.detection.early import EarlyDetectionStats, early_detection_statistics
+from repro.detection.pipeline import WorkflowAnomalyDetector
+
+__all__ = [
+    "OnlineDetector",
+    "StreamingPrediction",
+    "EarlyDetectionStats",
+    "early_detection_statistics",
+    "WorkflowAnomalyDetector",
+]

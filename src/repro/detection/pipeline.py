@@ -1,0 +1,140 @@
+"""High-level anomaly-detection pipeline (the library's main public API).
+
+Wraps model loading, fine-tuning, batch prediction, online detection and
+evaluation behind one object so that the workflow of the paper's target user
+(a system administrator, not an ML engineer) is three calls::
+
+    detector = WorkflowAnomalyDetector.from_pretrained("bert-base-uncased")
+    detector.fit(train_sentences, train_labels)
+    labels = detector.predict(new_sentences)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.detection.early import EarlyDetectionStats, early_detection_statistics
+from repro.detection.online import OnlineDetector, StreamingPrediction
+from repro.models.registry import ModelRegistry, default_registry
+from repro.tokenization.templates import JobRecord, record_to_sentence
+from repro.training.debias import augment_with_empty_sentences
+from repro.training.metrics import MetricReport
+from repro.training.trainer import SFTTrainer, TrainingConfig
+
+__all__ = ["WorkflowAnomalyDetector"]
+
+
+class WorkflowAnomalyDetector:
+    """End-to-end SFT-based anomaly detector over parsed workflow logs."""
+
+    def __init__(
+        self,
+        trainer: SFTTrainer,
+        *,
+        model_name: str = "",
+        debias: bool = False,
+    ) -> None:
+        self.trainer = trainer
+        self.model_name = model_name or trainer.model.config.name
+        self.debias = debias
+        self.online = OnlineDetector(trainer)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pretrained(
+        cls,
+        model_name: str = "bert-base-uncased",
+        *,
+        registry: ModelRegistry | None = None,
+        training_config: TrainingConfig | None = None,
+        debias: bool = False,
+    ) -> "WorkflowAnomalyDetector":
+        """Load a (synthetically) pre-trained encoder and wrap it in a detector."""
+        registry = registry or default_registry()
+        model = registry.load_encoder(model_name)
+        trainer = SFTTrainer(model, registry.tokenizer, training_config)
+        return cls(trainer, model_name=model_name, debias=debias)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        sentences: Sequence[str],
+        labels: Sequence[int] | np.ndarray,
+        *,
+        val_sentences: Sequence[str] | None = None,
+        val_labels: Sequence[int] | np.ndarray | None = None,
+    ) -> "WorkflowAnomalyDetector":
+        """Fine-tune on labeled sentences (optionally with debiasing augmentation)."""
+        if self.debias:
+            sentences, labels = augment_with_empty_sentences(
+                sentences, labels, rng=self.trainer.config.seed
+            )
+        self.trainer.fit(sentences, labels, val_sentences, val_labels)
+        self._fitted = True
+        return self
+
+    def fit_records(self, records: Sequence[JobRecord], **kwargs) -> "WorkflowAnomalyDetector":
+        """Fine-tune on labeled :class:`JobRecord` objects."""
+        sentences = [record_to_sentence(r) for r in records]
+        labels = np.array([int(r.label) for r in records], dtype=np.int64)
+        return self.fit(sentences, labels, **kwargs)
+
+    def fit_split(self, train_split, val_split=None) -> "WorkflowAnomalyDetector":
+        """Fine-tune on a :class:`~repro.flowbench.dataset.DatasetSplit`."""
+        return self.fit(
+            train_split.sentences(),
+            train_split.labels(),
+            val_sentences=val_split.sentences() if val_split is not None else None,
+            val_labels=val_split.labels() if val_split is not None else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                "detector has not been fitted; call fit()/fit_records()/fit_split() first"
+            )
+
+    def predict(self, sentences: Sequence[str]) -> np.ndarray:
+        """Hard labels (0 = normal, 1 = anomalous) for parsed sentences."""
+        self._require_fitted()
+        return self.trainer.predict(sentences)
+
+    def predict_records(self, records: Sequence[JobRecord]) -> np.ndarray:
+        """Hard labels for job records."""
+        return self.predict([record_to_sentence(r) for r in records])
+
+    def anomaly_scores(self, sentences: Sequence[str]) -> np.ndarray:
+        """P(anomalous) per sentence."""
+        self._require_fitted()
+        return self.trainer.anomaly_scores(sentences)
+
+    def evaluate(self, sentences: Sequence[str], labels: Sequence[int] | np.ndarray) -> MetricReport:
+        """Accuracy / precision / recall / F1 on labeled sentences."""
+        self._require_fitted()
+        return self.trainer.evaluate(sentences, labels)
+
+    def evaluate_split(self, split) -> MetricReport:
+        return self.evaluate(split.sentences(), split.labels())
+
+    # ------------------------------------------------------------------ #
+    # online / early detection
+    # ------------------------------------------------------------------ #
+    def stream(self, record: JobRecord) -> list[StreamingPrediction]:
+        """Re-classify a job as its features arrive one by one (Fig. 7)."""
+        self._require_fitted()
+        return list(self.online.stream(record))
+
+    def early_detection(self, records: Sequence[JobRecord]) -> EarlyDetectionStats:
+        """First-correct-detection histogram over labeled records (Fig. 8)."""
+        self._require_fitted()
+        return early_detection_statistics(self.online, records)

@@ -1,0 +1,67 @@
+"""Flow-Bench-style computational-workflow substrate.
+
+The paper evaluates on Flow-Bench, a benchmark of 1211 execution traces of
+three Pegasus workflows (1000 Genome, Montage, Predict Future Sales) with
+injected CPU and HDD performance anomalies.  The public dataset is not
+bundled here, so this package rebuilds the pipeline that produced it:
+
+* :mod:`repro.flowbench.workflows` — DAG definitions of the three workflows
+  with per-job-type execution profiles;
+* :mod:`repro.flowbench.simulator` — a discrete-event style execution
+  simulator that produces per-job raw log lines and parsed feature records;
+* :mod:`repro.flowbench.anomalies` — the CPU (core-limiting) and HDD
+  (I/O throttling) anomaly templates with magnitude subclasses;
+* :mod:`repro.flowbench.parsing` — raw log line → tabular record parsing;
+* :mod:`repro.flowbench.dataset` — trace generation, node-level labels,
+  8:1:1 splits and the statistics of Table I.
+"""
+
+from repro.flowbench.workflows import (
+    WorkflowSpec,
+    JobTypeProfile,
+    build_workflow,
+    build_1000genome_workflow,
+    build_montage_workflow,
+    build_sales_prediction_workflow,
+    WORKFLOW_BUILDERS,
+    WORKFLOW_NAMES,
+)
+from repro.flowbench.anomalies import (
+    AnomalySpec,
+    CPU_ANOMALIES,
+    HDD_ANOMALIES,
+    ALL_ANOMALIES,
+    sample_anomaly,
+)
+from repro.flowbench.simulator import WorkflowSimulator, ExecutionTrace
+from repro.flowbench.parsing import parse_log_lines, parse_trace_logs
+from repro.flowbench.dataset import (
+    DatasetSplit,
+    FlowBenchDataset,
+    generate_flowbench,
+    generate_dataset,
+)
+
+__all__ = [
+    "WorkflowSpec",
+    "JobTypeProfile",
+    "build_workflow",
+    "build_1000genome_workflow",
+    "build_montage_workflow",
+    "build_sales_prediction_workflow",
+    "WORKFLOW_BUILDERS",
+    "WORKFLOW_NAMES",
+    "AnomalySpec",
+    "CPU_ANOMALIES",
+    "HDD_ANOMALIES",
+    "ALL_ANOMALIES",
+    "sample_anomaly",
+    "WorkflowSimulator",
+    "ExecutionTrace",
+    "parse_log_lines",
+    "parse_trace_logs",
+    "DatasetSplit",
+    "FlowBenchDataset",
+    "generate_flowbench",
+    "generate_dataset",
+]

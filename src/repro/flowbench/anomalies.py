@@ -1,0 +1,129 @@
+"""Anomaly templates: CPU core-limiting and HDD I/O throttling.
+
+Flow-Bench injects two main anomaly classes into otherwise normal workflow
+executions:
+
+* **CPU** — workers advertise a fixed number of cores but cgroups/affinity
+  restrict the cores that can actually compute, so CPU-bound phases stretch
+  (subclasses ``cpu_2``, ``cpu_3``, ``cpu_4``: 2, 3 or 4 of the advertised
+  cores are withheld).
+* **HDD** — the average read/write speed of the worker is capped, so data
+  staging and I/O-bound phases stretch (subclasses ``hdd_5`` and ``hdd_10``:
+  the cap in MB/s; the lower the cap the stronger the slowdown).
+
+Each :class:`AnomalySpec` knows how to perturb the feature dictionary of a
+single job given the job's profile.  The perturbation is multiplicative with
+mild randomness, so anomalous jobs overlap with the normal distribution —
+the paper stresses that anomalies must be "realistic, not too frequent or too
+rare".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flowbench.workflows import JobTypeProfile
+
+__all__ = [
+    "AnomalySpec",
+    "CPU_ANOMALIES",
+    "HDD_ANOMALIES",
+    "ALL_ANOMALIES",
+    "sample_anomaly",
+    "get_anomaly",
+]
+
+
+@dataclass(frozen=True)
+class AnomalySpec:
+    """One anomaly subclass.
+
+    Attributes
+    ----------
+    name:
+        Subclass identifier, e.g. ``"cpu_3"`` or ``"hdd_10"``.
+    category:
+        ``"cpu"`` or ``"hdd"``.
+    magnitude:
+        For CPU: number of withheld cores (out of ``advertised_cores``).
+        For HDD: the bandwidth cap in MB/s.
+    """
+
+    name: str
+    category: str
+    magnitude: float
+    advertised_cores: int = 8
+    nominal_bandwidth_mbps: float = 100.0
+
+    def slowdown_factor(self) -> float:
+        """Expected multiplicative slowdown of the affected phase."""
+        if self.category == "cpu":
+            effective = max(self.advertised_cores - self.magnitude, 1)
+            return self.advertised_cores / effective
+        if self.category == "hdd":
+            return max(self.nominal_bandwidth_mbps / max(self.magnitude, 1e-6), 1.0)
+        raise ValueError(f"unknown anomaly category {self.category!r}")
+
+    def apply(
+        self,
+        features: dict[str, float],
+        profile: JobTypeProfile,
+        rng: np.random.Generator,
+    ) -> dict[str, float]:
+        """Return a perturbed copy of ``features`` for one job."""
+        out = dict(features)
+        jitter = float(rng.uniform(0.85, 1.15))
+        factor = self.slowdown_factor() * jitter
+        if self.category == "cpu":
+            # Only the CPU-bound share of the runtime stretches.
+            cpu_share = profile.cpu_fraction
+            runtime_factor = (1.0 - cpu_share) + cpu_share * factor
+            out["runtime"] = features["runtime"] * runtime_factor
+            out["cpu_time"] = features["cpu_time"] * factor
+        elif self.category == "hdd":
+            io_share = max(profile.io_intensity, 0.05)
+            out["stage_in_delay"] = features["stage_in_delay"] * factor
+            out["stage_out_delay"] = features["stage_out_delay"] * factor
+            runtime_factor = (1.0 - io_share) + io_share * factor
+            out["runtime"] = features["runtime"] * runtime_factor
+            # CPU time barely changes: the job waits on I/O.
+            out["cpu_time"] = features["cpu_time"] * float(rng.uniform(0.98, 1.05))
+        else:  # pragma: no cover - guarded by slowdown_factor
+            raise ValueError(f"unknown anomaly category {self.category!r}")
+        return out
+
+
+CPU_ANOMALIES: tuple[AnomalySpec, ...] = (
+    AnomalySpec("cpu_2", "cpu", 2),
+    AnomalySpec("cpu_3", "cpu", 3),
+    AnomalySpec("cpu_4", "cpu", 4),
+)
+
+HDD_ANOMALIES: tuple[AnomalySpec, ...] = (
+    AnomalySpec("hdd_5", "hdd", 5.0),
+    AnomalySpec("hdd_10", "hdd", 10.0),
+)
+
+ALL_ANOMALIES: tuple[AnomalySpec, ...] = CPU_ANOMALIES + HDD_ANOMALIES
+
+_BY_NAME = {a.name: a for a in ALL_ANOMALIES}
+
+
+def get_anomaly(name: str) -> AnomalySpec:
+    """Look up an anomaly subclass by name (e.g. ``"cpu_3"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown anomaly {name!r}; choose from {sorted(_BY_NAME)}") from None
+
+
+def sample_anomaly(
+    rng: np.random.Generator, categories: tuple[str, ...] = ("cpu", "hdd")
+) -> AnomalySpec:
+    """Sample a random anomaly subclass uniformly within the allowed categories."""
+    pool = [a for a in ALL_ANOMALIES if a.category in categories]
+    if not pool:
+        raise ValueError(f"no anomalies available for categories {categories}")
+    return pool[int(rng.integers(len(pool)))]

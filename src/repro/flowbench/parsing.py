@@ -1,0 +1,89 @@
+"""Parsing of raw workflow log lines into tabular job records.
+
+The paper's preprocessing step converts raw Pegasus logs "into tabular
+format, where each row represents a log entry and each column represents a
+field in the log" and then selects the timing / I/O / CPU features.  The
+simulator emits raw ``key=value`` event lines; this module re-assembles them
+into one :class:`~repro.tokenization.templates.JobRecord` per job.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from repro.tokenization.templates import FEATURE_ORDER, JobRecord
+
+__all__ = ["parse_log_lines", "parse_trace_logs"]
+
+_KV_RE = re.compile(r"(\w+)=([^\s]+)")
+
+#: Fields in the raw log that are not numeric job features.
+_META_FIELDS = frozenset({"ts", "workflow", "trace", "job", "worker", "event"})
+
+
+def _parse_line(line: str) -> dict[str, str]:
+    """Parse one ``key=value`` log line into a flat dict of strings."""
+    fields = dict(_KV_RE.findall(line))
+    if "job" not in fields or "event" not in fields:
+        raise ValueError(f"malformed log line (missing job/event): {line!r}")
+    return fields
+
+
+def parse_log_lines(lines: Iterable[str]) -> list[JobRecord]:
+    """Group raw log lines by job and assemble one record per job.
+
+    The returned records are unlabeled (``label=None``); labels come from the
+    dataset generator which knows which executions carried anomalies.
+    Lines that cannot be parsed raise ``ValueError`` — silent data loss in the
+    ingestion path would invalidate every downstream statistic.
+    """
+    per_job: dict[tuple[str, str, str], dict[str, float]] = defaultdict(dict)
+    meta: dict[tuple[str, str, str], dict[str, str]] = {}
+    order: list[tuple[str, str, str]] = []
+
+    for line in lines:
+        if not line.strip():
+            continue
+        fields = _parse_line(line)
+        key = (fields.get("workflow", ""), fields.get("trace", ""), fields["job"])
+        if key not in meta:
+            meta[key] = {k: v for k, v in fields.items() if k in _META_FIELDS}
+            order.append(key)
+        for name, value in fields.items():
+            if name in _META_FIELDS:
+                continue
+            try:
+                per_job[key][name] = float(value)
+            except ValueError as exc:
+                raise ValueError(f"non-numeric feature value {name}={value!r} in line {line!r}") from exc
+
+    records: list[JobRecord] = []
+    for index, key in enumerate(order):
+        workflow, trace, job = key
+        features = {name: per_job[key][name] for name in FEATURE_ORDER if name in per_job[key]}
+        records.append(
+            JobRecord(
+                features=features,
+                label=None,
+                job_name=job,
+                workflow=workflow,
+                node_index=index,
+                metadata={
+                    "trace_id": int(trace) if trace.isdigit() else trace,
+                    "worker": meta[key].get("worker", ""),
+                },
+            )
+        )
+    return records
+
+
+def parse_trace_logs(
+    lines: Iterable[str], labels_by_job: Mapping[str, int] | None = None
+) -> list[JobRecord]:
+    """Parse log lines and attach labels from a ``job name → label`` mapping."""
+    records = parse_log_lines(lines)
+    if labels_by_job is None:
+        return records
+    return [r.with_label(labels_by_job.get(r.job_name, 0)) for r in records]

@@ -1,0 +1,233 @@
+"""Workflow execution simulator.
+
+Simulates a single execution ("trace") of a workflow DAG on a small worker
+pool: every job receives a workflow-management-system delay, a queue delay, a
+runtime drawn from its job-type profile, data-staging delays proportional to
+its I/O volume, and a post-script delay.  An execution may carry one anomaly
+subclass; in that case the jobs scheduled on the throttled worker are
+perturbed by the anomaly template and labeled anomalous, all other jobs stay
+normal — mirroring how Flow-Bench injected anomalies into real executions.
+
+The simulator produces both raw log lines (so :mod:`repro.flowbench.parsing`
+has something to parse, exercising the paper's log → tabular step) and the
+parsed :class:`~repro.tokenization.templates.JobRecord` list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flowbench.anomalies import AnomalySpec
+from repro.flowbench.workflows import JobTypeProfile, WorkflowSpec
+from repro.tokenization.templates import FEATURE_ORDER, JobRecord
+from repro.utils.rng import new_rng
+
+__all__ = ["ExecutionTrace", "WorkflowSimulator"]
+
+
+@dataclass
+class ExecutionTrace:
+    """The result of simulating one workflow execution."""
+
+    workflow: str
+    trace_id: int
+    records: list[JobRecord]
+    log_lines: list[str]
+    anomaly: AnomalySpec | None = None
+    affected_jobs: set[str] = field(default_factory=set)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_anomalous(self) -> int:
+        return sum(1 for r in self.records if r.label == 1)
+
+    def labels(self) -> np.ndarray:
+        return np.array([r.label for r in self.records], dtype=np.int64)
+
+    def feature_matrix(self) -> np.ndarray:
+        """Node features as a dense (num_jobs, num_features) array."""
+        return np.stack([r.feature_vector() for r in self.records])
+
+
+class WorkflowSimulator:
+    """Simulate executions of a :class:`WorkflowSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The workflow to simulate.
+    num_workers:
+        Size of the simulated worker pool; anomalies affect exactly one
+        worker, so ``1 / num_workers`` of the jobs of an anomalous execution
+        are anomalous in expectation (modulated by ``affected_fraction``).
+    affected_fraction:
+        Override for the fraction of jobs placed on the throttled worker.
+        ``None`` uses ``1 / num_workers``.
+    seed:
+        Seed for the simulation RNG.
+    """
+
+    def __init__(
+        self,
+        spec: WorkflowSpec,
+        *,
+        num_workers: int = 3,
+        affected_fraction: float | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        spec.validate()
+        self.spec = spec
+        self.num_workers = num_workers
+        self.affected_fraction = (
+            affected_fraction if affected_fraction is not None else 1.0 / num_workers
+        )
+        if not 0.0 < self.affected_fraction <= 1.0:
+            raise ValueError("affected_fraction must be in (0, 1]")
+        self.rng = new_rng(seed)
+        self._trace_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # feature sampling
+    # ------------------------------------------------------------------ #
+    def _sample_features(self, profile: JobTypeProfile, rng: np.random.Generator) -> dict[str, float]:
+        runtime = float(rng.lognormal(np.log(profile.runtime_mean), profile.runtime_sigma))
+        wms_delay = float(rng.gamma(2.0, profile.wms_delay_mean / 2.0))
+        queue_delay = float(rng.gamma(1.5, profile.queue_delay_mean / 1.5))
+        post_script_delay = float(rng.gamma(2.0, profile.post_script_delay_mean / 2.0))
+        stage_in_bytes = float(rng.lognormal(np.log(profile.stage_in_bytes_mean), 0.3))
+        stage_out_bytes = float(rng.lognormal(np.log(profile.stage_out_bytes_mean), 0.3))
+        # Staging delay scales with volume around the profile mean.
+        in_scale = stage_in_bytes / profile.stage_in_bytes_mean
+        out_scale = stage_out_bytes / profile.stage_out_bytes_mean
+        stage_in_delay = float(rng.gamma(2.0, profile.stage_in_delay_mean / 2.0) * in_scale)
+        stage_out_delay = float(rng.gamma(2.0, profile.stage_out_delay_mean / 2.0) * out_scale)
+        cpu_time = float(runtime * profile.cpu_fraction * rng.uniform(0.95, 1.0))
+        return {
+            "wms_delay": round(wms_delay, 1),
+            "queue_delay": round(queue_delay, 1),
+            "runtime": round(runtime, 1),
+            "post_script_delay": round(post_script_delay, 1),
+            "stage_in_delay": round(stage_in_delay, 1),
+            "stage_out_delay": round(stage_out_delay, 1),
+            "stage_in_bytes": round(stage_in_bytes, 1),
+            "stage_out_bytes": round(stage_out_bytes, 1),
+            "cpu_time": round(cpu_time, 1),
+        }
+
+    # ------------------------------------------------------------------ #
+    # log emission
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _emit_log_lines(
+        workflow: str, trace_id: int, job: str, worker: int, features: dict[str, float]
+    ) -> list[str]:
+        """Emit Pegasus-like raw log lines for one job."""
+        ts = 0.0
+        lines = []
+        events = [
+            ("SUBMIT", "wms_delay"),
+            ("EXECUTE", "queue_delay"),
+            ("TERMINATED", "runtime"),
+            ("POST_SCRIPT_TERMINATED", "post_script_delay"),
+        ]
+        for event, feature in events:
+            ts += features[feature]
+            lines.append(
+                f"ts={ts:.1f} workflow={workflow} trace={trace_id} job={job} "
+                f"worker=worker-{worker} event={event} {feature}={features[feature]}"
+            )
+        lines.append(
+            f"ts={ts:.1f} workflow={workflow} trace={trace_id} job={job} "
+            f"worker=worker-{worker} event=STAGE_IN stage_in_delay={features['stage_in_delay']} "
+            f"stage_in_bytes={features['stage_in_bytes']}"
+        )
+        lines.append(
+            f"ts={ts:.1f} workflow={workflow} trace={trace_id} job={job} "
+            f"worker=worker-{worker} event=STAGE_OUT stage_out_delay={features['stage_out_delay']} "
+            f"stage_out_bytes={features['stage_out_bytes']}"
+        )
+        lines.append(
+            f"ts={ts:.1f} workflow={workflow} trace={trace_id} job={job} "
+            f"worker=worker-{worker} event=USAGE cpu_time={features['cpu_time']}"
+        )
+        return lines
+
+    # ------------------------------------------------------------------ #
+    # main entry point
+    # ------------------------------------------------------------------ #
+    def simulate(self, anomaly: AnomalySpec | None = None) -> ExecutionTrace:
+        """Simulate one execution, optionally carrying an anomaly."""
+        trace_id = self._trace_counter
+        self._trace_counter += 1
+        rng = self.rng
+
+        jobs = self.spec.topological_jobs()
+        workers = rng.integers(0, self.num_workers, size=len(jobs))
+        throttled_worker = 0
+        if anomaly is not None:
+            # Re-assign placement so the throttled worker receives
+            # approximately ``affected_fraction`` of the jobs.
+            affected_mask = rng.random(len(jobs)) < self.affected_fraction
+            workers = np.where(affected_mask, throttled_worker, 1 + rng.integers(0, max(self.num_workers - 1, 1), size=len(jobs)))
+
+        records: list[JobRecord] = []
+        log_lines: list[str] = []
+        affected_jobs: set[str] = set()
+        for index, (job, worker) in enumerate(zip(jobs, workers)):
+            profile = self.spec.profile(job)
+            features = self._sample_features(profile, rng)
+            label = 0
+            anomaly_type = "none"
+            if anomaly is not None and worker == throttled_worker:
+                features = anomaly.apply(features, profile, rng)
+                features = {k: round(v, 1) for k, v in features.items()}
+                label = 1
+                anomaly_type = anomaly.name
+                affected_jobs.add(job)
+            records.append(
+                JobRecord(
+                    features={k: features[k] for k in FEATURE_ORDER},
+                    label=label,
+                    job_name=job,
+                    workflow=self.spec.name,
+                    anomaly_type=anomaly_type,
+                    node_index=index,
+                    metadata={"trace_id": trace_id, "worker": int(worker), "job_type": self.spec.job_type(job)},
+                )
+            )
+            log_lines.extend(self._emit_log_lines(self.spec.name, trace_id, job, int(worker), features))
+
+        return ExecutionTrace(
+            workflow=self.spec.name,
+            trace_id=trace_id,
+            records=records,
+            log_lines=log_lines,
+            anomaly=anomaly,
+            affected_jobs=affected_jobs,
+        )
+
+    def simulate_many(
+        self,
+        num_traces: int,
+        anomaly_probability: float = 0.5,
+        categories: tuple[str, ...] = ("cpu", "hdd"),
+    ) -> list[ExecutionTrace]:
+        """Simulate ``num_traces`` executions, injecting anomalies at random."""
+        from repro.flowbench.anomalies import sample_anomaly
+
+        if not 0.0 <= anomaly_probability <= 1.0:
+            raise ValueError("anomaly_probability must be in [0, 1]")
+        traces = []
+        for _ in range(num_traces):
+            anomaly = None
+            if self.rng.random() < anomaly_probability:
+                anomaly = sample_anomaly(self.rng, categories)
+            traces.append(self.simulate(anomaly))
+        return traces

@@ -1,0 +1,39 @@
+"""In-context learning (ICL) for workflow anomaly detection.
+
+Implements the paper's second approach: decoder-only LLMs are *prompted* —
+not fine-tuned — with a task description and zero or more labeled examples
+(Fig. 3), and asked to categorise a job as Normal or Abnormal.  The package
+covers zero-shot and few-shot prompting with positive-only / negative-only /
+mixed example selection (Table III, Fig. 12), parameter-efficient fine-tuning
+of the prompted models with quantization + LoRA, chain-of-thought
+explanations (Fig. 13), and transfer across workflows (Fig. 14).
+"""
+
+from repro.icl.prompts import (
+    CATEGORY_NORMAL,
+    CATEGORY_ABNORMAL,
+    PromptTemplate,
+    build_task_description,
+    format_example,
+    build_prompt,
+)
+from repro.icl.fewshot import FewShotSelector
+from repro.icl.engine import ICLEngine, ICLPrediction
+from repro.icl.cot import ChainOfThoughtExplainer, CoTResult
+from repro.icl.finetune import ICLFineTuner, ICLFineTuneConfig
+
+__all__ = [
+    "CATEGORY_NORMAL",
+    "CATEGORY_ABNORMAL",
+    "PromptTemplate",
+    "build_task_description",
+    "format_example",
+    "build_prompt",
+    "FewShotSelector",
+    "ICLEngine",
+    "ICLPrediction",
+    "ChainOfThoughtExplainer",
+    "CoTResult",
+    "ICLFineTuner",
+    "ICLFineTuneConfig",
+]

@@ -1,0 +1,87 @@
+"""Few-shot example selection (negative-only / positive-only / mixed).
+
+Table III and Fig. 12 vary both the *composition* of the in-context examples
+(only normal jobs, only anomalous jobs, or a mix) and their *number*.
+Getting labeled anomalies is expensive in production, so the composition
+study answers which labels are worth collecting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tokenization.templates import JobRecord
+from repro.utils.rng import new_rng
+
+__all__ = ["FewShotSelector"]
+
+_MODES = ("mixed", "pos", "neg")
+
+
+class FewShotSelector:
+    """Draw in-context examples from a labeled pool of job records."""
+
+    def __init__(
+        self,
+        pool: Sequence[JobRecord],
+        *,
+        mode: str = "mixed",
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.rng = new_rng(seed)
+        self._normal = [r for r in pool if r.label == 0]
+        self._anomalous = [r for r in pool if r.label == 1]
+        if mode in ("mixed", "neg") and not self._normal:
+            raise ValueError("example pool contains no normal records")
+        if mode in ("mixed", "pos") and not self._anomalous:
+            raise ValueError("example pool contains no anomalous records")
+
+    # ------------------------------------------------------------------ #
+    def select(self, k: int) -> list[tuple[JobRecord, int]]:
+        """Return ``k`` examples as ``(record, label)`` pairs.
+
+        * ``mode="neg"`` — normal jobs only;
+        * ``mode="pos"`` — anomalous jobs only;
+        * ``mode="mixed"`` — alternating normal/anomalous, as balanced as
+          ``k`` allows.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            return []
+        if self.mode == "neg":
+            records = self._draw(self._normal, k)
+        elif self.mode == "pos":
+            records = self._draw(self._anomalous, k)
+        else:
+            half = k // 2
+            normal = self._draw(self._normal, k - half)
+            anomalous = self._draw(self._anomalous, half)
+            records = []
+            # Interleave so neither class dominates the prompt prefix.
+            for i in range(max(len(normal), len(anomalous))):
+                if i < len(normal):
+                    records.append(normal[i])
+                if i < len(anomalous):
+                    records.append(anomalous[i])
+        return [(r, int(r.label)) for r in records]
+
+    def _draw(self, population: list[JobRecord], k: int) -> list[JobRecord]:
+        if k <= 0:
+            return []
+        replace = k > len(population)
+        idx = self.rng.choice(len(population), size=k, replace=replace)
+        return [population[i] for i in idx]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pool_size(self) -> int:
+        return len(self._normal) + len(self._anomalous)
+
+    def class_counts(self) -> dict[str, int]:
+        return {"normal": len(self._normal), "anomalous": len(self._anomalous)}

@@ -1,0 +1,155 @@
+"""Model configurations.
+
+Each configuration is a scaled-down stand-in for one of the checkpoints the
+paper uses.  The *relative* ordering of parameter counts within a family is
+preserved (base < large, distilled < base, ALBERT's shared layers < BERT),
+which is what the Fig. 5 "training time vs. number of parameters"
+reproduction relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ModelConfig",
+    "ENCODER_CONFIGS",
+    "DECODER_CONFIGS",
+    "ALL_CONFIGS",
+    "get_config",
+    "encoder_model_names",
+    "decoder_model_names",
+]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of one model.
+
+    Attributes
+    ----------
+    name:
+        HuggingFace-style checkpoint name the config stands in for.
+    kind:
+        ``"encoder"`` (bidirectional, used for SFT classification) or
+        ``"decoder"`` (causal, used for ICL).
+    family:
+        Model family (``bert``, ``albert``, ``distilbert``, ``roberta``,
+        ``xlnet``, ``gpt2``, ``mistral``, ``llama``), used to pick
+        architecture quirks such as ALBERT's layer sharing.
+    share_layers:
+        ALBERT-style cross-layer parameter sharing.
+    lowercase:
+        Whether the tokenizer lowercases (``-uncased`` variants).
+    """
+
+    name: str
+    kind: str
+    family: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    intermediate_size: int
+    max_position: int = 128
+    dropout: float = 0.1
+    share_layers: bool = False
+    lowercase: bool = True
+    num_labels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("encoder", "decoder"):
+            raise ValueError(f"kind must be 'encoder' or 'decoder', got {self.kind!r}")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+
+    def scaled(self, **overrides) -> "ModelConfig":
+        """Return a copy with some fields overridden (used by tests/ablations)."""
+        return replace(self, **overrides)
+
+
+def _enc(name: str, family: str, hidden: int, layers: int, heads: int, *,
+         share: bool = False, lowercase: bool = True) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        kind="encoder",
+        family=family,
+        hidden_size=hidden,
+        num_layers=layers,
+        num_heads=heads,
+        intermediate_size=hidden * 4,
+        share_layers=share,
+        lowercase=lowercase,
+    )
+
+
+def _dec(name: str, family: str, hidden: int, layers: int, heads: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        kind="decoder",
+        family=family,
+        hidden_size=hidden,
+        num_layers=layers,
+        num_heads=heads,
+        intermediate_size=hidden * 4,
+        max_position=512,
+    )
+
+
+#: The twelve encoder checkpoints of Fig. 4 / Fig. 5.
+ENCODER_CONFIGS: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        _enc("albert-base-v2", "albert", 48, 2, 4, share=True),
+        _enc("albert-large-v2", "albert", 64, 3, 4, share=True),
+        _enc("bert-base-cased", "bert", 64, 2, 4, lowercase=False),
+        _enc("bert-base-uncased", "bert", 64, 2, 4),
+        _enc("bert-large-cased", "bert", 96, 3, 6, lowercase=False),
+        _enc("bert-large-uncased", "bert", 96, 3, 6),
+        _enc("distilbert-base-cased", "distilbert", 48, 2, 4, lowercase=False),
+        _enc("distilbert-base-uncased", "distilbert", 48, 2, 4),
+        _enc("roberta-base", "roberta", 64, 2, 4),
+        _enc("roberta-large", "roberta", 96, 3, 6),
+        _enc("xlnet-base-cased", "xlnet", 80, 3, 4, lowercase=False),
+        _enc("xlnet-large-cased", "xlnet", 112, 4, 8, lowercase=False),
+    )
+}
+
+#: The three decoder checkpoints of Table III / Fig. 12.
+DECODER_CONFIGS: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        _dec("gpt2", "gpt2", 48, 2, 4),
+        _dec("mistral-7b", "mistral", 96, 3, 6),
+        _dec("llama2-7b", "llama", 96, 3, 6),
+    )
+}
+
+ALL_CONFIGS: dict[str, ModelConfig] = {**ENCODER_CONFIGS, **DECODER_CONFIGS}
+
+_ALIASES = {
+    "mistral": "mistral-7b",
+    "mistral-7b-v0.1": "mistral-7b",
+    "llama": "llama2-7b",
+    "llama2": "llama2-7b",
+    "llama-2-7b": "llama2-7b",
+    "gpt-2": "gpt2",
+}
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a configuration by checkpoint name (alias tolerant)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in ALL_CONFIGS:
+        raise KeyError(f"unknown model {name!r}; known models: {sorted(ALL_CONFIGS)}")
+    return ALL_CONFIGS[key]
+
+
+def encoder_model_names() -> list[str]:
+    """Names of all encoder checkpoints (the x-axis of Fig. 4)."""
+    return sorted(ENCODER_CONFIGS)
+
+
+def decoder_model_names() -> list[str]:
+    """Names of all decoder checkpoints (rows of Table III)."""
+    return list(DECODER_CONFIGS)

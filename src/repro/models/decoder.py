@@ -1,0 +1,137 @@
+"""Decoder-only causal language models (GPT-2 / Mistral / LLama stand-ins).
+
+These models power the in-context-learning experiments: a prompt containing
+the task description and a few labeled examples is encoded, the model scores
+(or generates) the category continuation, and — with LoRA + quantization —
+can also be fine-tuned cheaply on the workflow data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.nn import Dropout, Embedding, Module, TransformerDecoder
+from repro.nn.transformer import SinusoidalPositionalEncoding
+from repro.tensor import Tensor, no_grad, functional as F
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["DecoderLM"]
+
+
+class DecoderLM(Module):
+    """Causal transformer language model with a tied output projection."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        vocab_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if config.kind != "decoder":
+            raise ValueError(f"config {config.name!r} is not a decoder config")
+        rngs = spawn_rngs(new_rng(rng), 3)
+        self.config = config
+        self.vocab_size = vocab_size
+        self.token_embedding = Embedding(vocab_size, config.hidden_size, rng=rngs[0])
+        self.position_embedding = SinusoidalPositionalEncoding(config.max_position, config.hidden_size)
+        self.embedding_dropout = Dropout(config.dropout, rng=rngs[2])
+        self.decoder = TransformerDecoder(
+            num_layers=config.num_layers,
+            hidden_size=config.hidden_size,
+            num_heads=config.num_heads,
+            intermediate_size=config.intermediate_size,
+            dropout=config.dropout,
+            rng=rngs[2],
+        )
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> Tensor:
+        """Return next-token logits of shape (batch, seq, vocab)."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim != 2:
+            raise ValueError(f"input_ids must be 2-D (batch, seq), got shape {input_ids.shape}")
+        batch, seq = input_ids.shape
+        if seq > self.config.max_position:
+            raise ValueError(
+                f"sequence length {seq} exceeds the model's maximum context "
+                f"{self.config.max_position}; shorten the prompt or use fewer examples"
+            )
+        hidden = self.token_embedding(input_ids) + self.position_embedding(seq, batch)
+        hidden = self.embedding_dropout(hidden)
+        hidden = self.decoder(hidden, attention_mask)
+        return hidden.matmul(self.token_embedding.weight.transpose())
+
+    # ------------------------------------------------------------------ #
+    # scoring and generation (inference only)
+    # ------------------------------------------------------------------ #
+    def sequence_log_prob(self, input_ids: np.ndarray, prefix_length: int) -> float:
+        """Log-probability of ``input_ids[prefix_length:]`` given the prefix.
+
+        Used by the ICL engine to score candidate category continuations
+        ("Normal" vs "Abnormal") after the prompt.
+        """
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim != 1:
+            raise ValueError("sequence_log_prob expects a 1-D token sequence")
+        if not 0 < prefix_length < len(input_ids):
+            raise ValueError("prefix_length must leave at least one continuation token")
+        with no_grad():
+            logits = self.forward(input_ids[None, :])
+            log_probs = F.log_softmax(logits, axis=-1).data[0]
+        targets = input_ids[prefix_length:]
+        # logits at position t predict token t+1
+        positions = np.arange(prefix_length - 1, len(input_ids) - 1)
+        return float(log_probs[positions, targets].sum())
+
+    def next_token_log_probs(self, input_ids: np.ndarray) -> np.ndarray:
+        """Log-probabilities of the next token after a 1-D prompt."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        with no_grad():
+            logits = self.forward(input_ids[None, :])
+            return F.log_softmax(logits[:, -1, :], axis=-1).data[0]
+
+    def generate(
+        self,
+        input_ids: np.ndarray,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Autoregressively extend a 1-D prompt.
+
+        ``temperature == 0`` is greedy decoding; positive temperatures sample.
+        Generation stops early when a token in ``stop_ids`` is produced or the
+        model's maximum context is reached.
+        """
+        rng = new_rng(rng)
+        ids = list(np.asarray(input_ids, dtype=np.int64))
+        stop_ids = stop_ids or set()
+        for _ in range(max_new_tokens):
+            if len(ids) >= self.config.max_position:
+                break
+            log_probs = self.next_token_log_probs(np.asarray(ids))
+            if temperature <= 0.0:
+                next_id = int(np.argmax(log_probs))
+            else:
+                scaled = log_probs / temperature
+                scaled -= scaled.max()
+                probs = np.exp(scaled)
+                probs /= probs.sum()
+                next_id = int(rng.choice(len(probs), p=probs))
+            ids.append(next_id)
+            if next_id in stop_ids:
+                break
+        return np.asarray(ids, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def clm_logits(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> Tensor:
+        """Alias of :meth:`forward` used by the causal-LM pre-training loop."""
+        return self.forward(input_ids, attention_mask)

@@ -1,0 +1,147 @@
+"""Encoder-only transformer models (BERT-family stand-ins) for SFT.
+
+``EncoderModel`` produces contextual token representations and a pooled
+``[CLS]`` vector; ``EncoderForSequenceClassification`` adds the
+classification head used for supervised fine-tuning on parsed log sentences.
+A masked-language-modelling head is included for the synthetic pre-training
+stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    PositionalEmbedding,
+    TransformerEncoder,
+)
+from repro.tensor import Tensor, no_grad, functional as F
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["EncoderModel", "EncoderForSequenceClassification"]
+
+
+class EncoderModel(Module):
+    """Token + position embeddings followed by a bidirectional encoder stack."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        vocab_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if config.kind != "encoder":
+            raise ValueError(f"config {config.name!r} is not an encoder config")
+        rngs = spawn_rngs(new_rng(rng), 4)
+        self.config = config
+        self.vocab_size = vocab_size
+        self.token_embedding = Embedding(vocab_size, config.hidden_size, rng=rngs[0])
+        self.position_embedding = PositionalEmbedding(config.max_position, config.hidden_size, rng=rngs[1])
+        self.embedding_norm = LayerNorm(config.hidden_size)
+        self.embedding_dropout = Dropout(config.dropout, rng=rngs[2])
+        self.encoder = TransformerEncoder(
+            num_layers=config.num_layers,
+            hidden_size=config.hidden_size,
+            num_heads=config.num_heads,
+            intermediate_size=config.intermediate_size,
+            dropout=config.dropout,
+            share_layers=config.share_layers,
+            rng=rngs[3],
+        )
+
+    def forward(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> Tensor:
+        """Return contextual hidden states of shape (batch, seq, hidden)."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim != 2:
+            raise ValueError(f"input_ids must be 2-D (batch, seq), got shape {input_ids.shape}")
+        batch, seq = input_ids.shape
+        hidden = self.token_embedding(input_ids) + self.position_embedding(seq, batch)
+        hidden = self.embedding_dropout(self.embedding_norm(hidden))
+        return self.encoder(hidden, attention_mask)
+
+    def pooled_output(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> Tensor:
+        """Return the [CLS] (first position) representation."""
+        hidden = self.forward(input_ids, attention_mask)
+        return hidden[:, 0, :]
+
+
+class EncoderForSequenceClassification(Module):
+    """Encoder backbone + tanh pooler + classification head (SFT model).
+
+    Mirrors HuggingFace's ``AutoModelForSequenceClassification``: the
+    fine-tuning recipe of the paper attaches a classification head on top of
+    the pre-trained encoder and trains end to end (or head-only when
+    parameters are frozen, Table II).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        vocab_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rngs = spawn_rngs(new_rng(rng), 4)
+        self.config = config
+        self.backbone = EncoderModel(config, vocab_size, rng=rngs[0])
+        self.pooler = Linear(config.hidden_size, config.hidden_size, rng=rngs[1])
+        self.dropout = Dropout(config.dropout, rng=rngs[2])
+        self.classifier = Linear(config.hidden_size, config.num_labels, rng=rngs[3])
+        # MLM head for synthetic pre-training; reuses the token embedding as
+        # the output projection (weight tying).
+        self.mlm_bias = Linear(config.hidden_size, config.hidden_size, rng=rngs[1])
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> Tensor:
+        """Return classification logits of shape (batch, num_labels)."""
+        cls = self.backbone.pooled_output(input_ids, attention_mask)
+        pooled = self.pooler(cls).tanh()
+        return self.classifier(self.dropout(pooled))
+
+    def predict_proba(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Class probabilities without building an autograd graph."""
+        with no_grad():
+            logits = self.forward(input_ids, attention_mask)
+            return F.softmax(logits, axis=-1).data
+
+    def predict(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Hard label predictions (argmax of the logits)."""
+        return np.argmax(self.predict_proba(input_ids, attention_mask), axis=-1)
+
+    # ------------------------------------------------------------------ #
+    def mlm_logits(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> Tensor:
+        """Masked-LM logits over the vocabulary (synthetic pre-training)."""
+        hidden = self.backbone(input_ids, attention_mask)
+        transformed = self.mlm_bias(hidden).gelu()
+        # Tie output projection to the input embedding matrix.
+        return transformed.matmul(self.backbone.token_embedding.weight.transpose())
+
+    # ------------------------------------------------------------------ #
+    def freeze_backbone(self) -> int:
+        """Freeze everything except the classifier head (Table II 'Linear')."""
+        frozen = self.freeze(lambda name, p: not name.startswith("classifier"))
+        self.unfreeze(lambda name, p: name.startswith("classifier"))
+        return frozen
+
+    def classifier_parameters(self):
+        """Iterate over the parameters of the classification head only."""
+        return (p for name, p in self.named_parameters() if name.startswith("classifier"))

@@ -1,0 +1,42 @@
+"""Neural-network module system built on :mod:`repro.tensor`.
+
+The API intentionally mirrors a small subset of ``torch.nn`` so that the
+transformer implementations in :mod:`repro.models` read like their PyTorch /
+HuggingFace counterparts: :class:`Module` containers with named parameters,
+``state_dict`` round-tripping, train/eval modes, and the usual layers
+(Linear, Embedding, LayerNorm, Dropout, multi-head attention, transformer
+blocks).
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList, Sequential
+from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout, GELU, ReLU, Tanh
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import (
+    FeedForward,
+    TransformerEncoderLayer,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerDecoder,
+    PositionalEmbedding,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "GELU",
+    "ReLU",
+    "Tanh",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "TransformerEncoder",
+    "TransformerDecoder",
+    "PositionalEmbedding",
+]

@@ -1,0 +1,100 @@
+"""Multi-head scaled-dot-product attention.
+
+Supports both bidirectional attention (BERT-style encoders used for SFT) and
+causal attention (GPT-style decoders used for in-context learning).  Padding
+masks are passed as boolean arrays where ``True`` marks *valid* tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["MultiHeadAttention"]
+
+_NEG_INF = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention with optional causal masking."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        causal: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if hidden_size % num_heads != 0:
+            raise ValueError(
+                f"hidden_size ({hidden_size}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = new_rng(rng)
+        rngs = spawn_rngs(rng, 5)
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.head_dim = hidden_size // num_heads
+        self.causal = causal
+        self.q_proj = Linear(hidden_size, hidden_size, rng=rngs[0])
+        self.k_proj = Linear(hidden_size, hidden_size, rng=rngs[1])
+        self.v_proj = Linear(hidden_size, hidden_size, rng=rngs[2])
+        self.out_proj = Linear(hidden_size, hidden_size, rng=rngs[3])
+        self.attn_dropout = Dropout(dropout, rng=rngs[4])
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, H) -> (B, heads, S, head_dim)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        x:
+            Hidden states of shape ``(batch, seq, hidden)``.
+        attention_mask:
+            Optional boolean array of shape ``(batch, seq)`` where ``True``
+            marks real tokens and ``False`` padding.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale  # (B, heads, S, S)
+
+        mask = self._build_mask(attention_mask, batch, seq)
+        if mask is not None:
+            scores = scores.masked_fill(~mask, _NEG_INF)
+
+        attn = F.softmax(scores, axis=-1)
+        attn = self.attn_dropout(attn)
+        context = attn.matmul(v)  # (B, heads, S, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+        return self.out_proj(context)
+
+    def _build_mask(
+        self, attention_mask: np.ndarray | None, batch: int, seq: int
+    ) -> np.ndarray | None:
+        """Combine the padding mask and causal mask into a (B, 1|H, S, S) bool array."""
+        mask = None
+        if attention_mask is not None:
+            pad = np.asarray(attention_mask, dtype=bool)
+            if pad.shape != (batch, seq):
+                raise ValueError(
+                    f"attention_mask must have shape {(batch, seq)}, got {pad.shape}"
+                )
+            mask = pad[:, None, None, :]  # broadcast over heads and query positions
+        if self.causal:
+            causal = np.tril(np.ones((seq, seq), dtype=bool))[None, None, :, :]
+            mask = causal if mask is None else (mask & causal)
+        if mask is not None:
+            mask = np.broadcast_to(mask, (batch, 1, seq, seq) if mask.shape[1] == 1 else mask.shape)
+        return mask

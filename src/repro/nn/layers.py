@@ -1,0 +1,136 @@
+"""Elementary layers: Linear, Embedding, LayerNorm, Dropout and activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import new_rng
+
+__all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "GELU", "ReLU", "Tanh"]
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b`` with Kaiming-uniform initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        bound = float(1.0 / np.sqrt(in_features))
+        self.weight = Parameter(rng.uniform(-bound, bound, size=(out_features, in_features)))
+        if bias:
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | int | None = None,
+        padding_idx: int | None = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("num_embeddings and embedding_dim must be positive")
+        rng = new_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        weight = rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim))
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight)
+
+    def forward(self, ids: np.ndarray | Tensor) -> Tensor:
+        if isinstance(ids, Tensor):
+            ids = ids.data
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return self.weight.take_rows(ids)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class Dropout(Module):
+    """Inverted dropout, deterministic given the generator's state."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Dropout(p={self.p})"
+
+
+class GELU(Module):
+    """GELU activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class ReLU(Module):
+    """ReLU activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Tanh activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()

@@ -1,0 +1,18 @@
+"""A small reverse-mode automatic-differentiation engine over NumPy arrays.
+
+The engine provides exactly what the transformer stack in :mod:`repro.nn`
+needs: broadcasting-aware elementwise arithmetic, batched matrix products,
+reductions, reshapes, gather/scatter for embeddings, and the usual neural
+network nonlinearities.  It follows the define-by-run style of PyTorch: every
+operation on :class:`~repro.tensor.tensor.Tensor` records a backward closure,
+and :meth:`Tensor.backward` performs a topological sweep.
+
+The design goals, in order, are correctness, clarity and vectorisation — all
+heavy lifting is delegated to NumPy ufuncs and ``matmul``; no Python-level
+loops appear on the hot path (see the HPC guide notes on vectorising loops).
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,36 @@
+"""Tokenization of parsed workflow-log sentences.
+
+The paper parses each job's log entry into a natural-language sentence of the
+form ``"<FEAT_1> is <VAL_1> ... <FEAT_n> is <VAL_n>"`` (Fig. 2) and feeds it
+to pre-trained language models.  This package provides:
+
+* :mod:`repro.tokenization.templates` — the sentence template (job record ↔
+  sentence round trip) and the streaming prefix template used for online
+  detection (Fig. 7);
+* :mod:`repro.tokenization.vocab` — the vocabulary with special tokens;
+* :mod:`repro.tokenization.tokenizer` — a log-aware tokenizer with numeric
+  binning, which is the generalisable replacement for the model-specific
+  WordPiece/BPE tokenizers of the original HuggingFace checkpoints.
+"""
+
+from repro.tokenization.vocab import Vocabulary, SpecialTokens
+from repro.tokenization.tokenizer import LogTokenizer, NumericBinner
+from repro.tokenization.templates import (
+    FEATURE_ORDER,
+    JobRecord,
+    record_to_sentence,
+    sentence_to_record,
+    streaming_prefixes,
+)
+
+__all__ = [
+    "Vocabulary",
+    "SpecialTokens",
+    "LogTokenizer",
+    "NumericBinner",
+    "FEATURE_ORDER",
+    "JobRecord",
+    "record_to_sentence",
+    "sentence_to_record",
+    "streaming_prefixes",
+]

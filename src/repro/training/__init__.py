@@ -1,0 +1,63 @@
+"""Training, evaluation and adaptation machinery for the SFT experiments.
+
+Contains the optimizers and LR schedulers, the classification metrics the
+paper reports (accuracy, precision, recall, F1, ROC-AUC, average precision,
+precision@k), the supervised fine-tuning trainer, and the higher-level
+recipes built on top of it: debiasing via data augmentation (Fig. 9),
+transfer learning (Fig. 10/11), and parameter freezing to mitigate
+catastrophic forgetting (Table II).
+"""
+
+from repro.training.optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from repro.training.scheduler import ConstantSchedule, CosineSchedule, LinearWarmupSchedule
+from repro.training.loss import classification_loss, masked_lm_loss, causal_lm_loss
+from repro.training.metrics import (
+    MetricReport,
+    accuracy_score,
+    precision_score,
+    recall_score,
+    f1_score,
+    roc_auc_score,
+    average_precision_score,
+    precision_at_k,
+    confusion_matrix,
+    classification_report,
+)
+from repro.training.trainer import SFTTrainer, TrainingConfig, TrainingHistory
+from repro.training.debias import bias_probe, augment_with_empty_sentences
+from repro.training.freezing import freeze_for_transfer, trainable_parameter_count
+from repro.training.transfer import TransferResult, evaluate_transfer_matrix, finetune_on_target
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "LinearWarmupSchedule",
+    "classification_loss",
+    "masked_lm_loss",
+    "causal_lm_loss",
+    "MetricReport",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "roc_auc_score",
+    "average_precision_score",
+    "precision_at_k",
+    "confusion_matrix",
+    "classification_report",
+    "SFTTrainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "bias_probe",
+    "augment_with_empty_sentences",
+    "freeze_for_transfer",
+    "trainable_parameter_count",
+    "TransferResult",
+    "evaluate_transfer_matrix",
+    "finetune_on_target",
+]

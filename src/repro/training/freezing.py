@@ -1,0 +1,54 @@
+"""Parameter freezing to mitigate catastrophic forgetting (Table II).
+
+When a model fine-tuned on dataset D1 is further fine-tuned on D2 with all
+parameters trainable, its performance on D1 degrades (catastrophic
+forgetting).  Freezing the pre-trained backbone and updating only the final
+linear classification head retains the D1 knowledge, improves precision, and
+cuts the training time dramatically.
+"""
+
+from __future__ import annotations
+
+from repro.models.encoder import EncoderForSequenceClassification
+from repro.nn.module import Module
+
+__all__ = ["freeze_for_transfer", "trainable_parameter_count", "unfreeze_all"]
+
+
+def freeze_for_transfer(
+    model: EncoderForSequenceClassification, strategy: str = "linear"
+) -> dict[str, int]:
+    """Apply a freezing strategy and return a parameter accounting summary.
+
+    Strategies
+    ----------
+    ``"all"``
+        Nothing frozen — every parameter is updated (the paper's
+        ``SFT (D1 + D2), All`` column).
+    ``"linear"``
+        Freeze the backbone/pooler, update only the last linear
+        classification layer (the ``SFT (D1 + D2), Linear`` column).
+    """
+    if strategy not in ("all", "linear"):
+        raise ValueError(f"unknown freezing strategy {strategy!r}; use 'all' or 'linear'")
+    if strategy == "all":
+        model.unfreeze()
+    else:
+        model.freeze_backbone()
+    return trainable_parameter_count(model)
+
+
+def trainable_parameter_count(model: Module) -> dict[str, int]:
+    """Return ``{"total": ..., "trainable": ..., "frozen": ...}``."""
+    total = 0
+    trainable = 0
+    for p in model.parameters():
+        total += p.size
+        if p.requires_grad:
+            trainable += p.size
+    return {"total": total, "trainable": trainable, "frozen": total - trainable}
+
+
+def unfreeze_all(model: Module) -> None:
+    """Make every parameter trainable again."""
+    model.unfreeze()

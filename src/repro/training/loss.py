@@ -1,0 +1,78 @@
+"""Loss functions for SFT classification and LM (pre-)training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F
+
+__all__ = ["classification_loss", "masked_lm_loss", "causal_lm_loss", "completion_only_loss"]
+
+
+def classification_loss(
+    logits: Tensor,
+    labels: np.ndarray,
+    *,
+    class_weights: np.ndarray | None = None,
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Cross-entropy loss for sequence classification (SFT objective)."""
+    return F.cross_entropy(
+        logits, labels, class_weights=class_weights, label_smoothing=label_smoothing
+    )
+
+
+def masked_lm_loss(logits: Tensor, labels: np.ndarray, ignore_index: int = -100) -> Tensor:
+    """Masked-language-modelling loss.
+
+    ``labels`` holds the original token ids at masked positions and
+    ``ignore_index`` everywhere else; only the masked positions contribute.
+    """
+    return F.cross_entropy(logits, labels, ignore_index=ignore_index)
+
+
+def causal_lm_loss(
+    logits: Tensor, input_ids: np.ndarray, attention_mask: np.ndarray | None = None,
+    pad_id: int | None = None,
+) -> Tensor:
+    """Next-token prediction loss for causal LMs.
+
+    The logits at position ``t`` predict the token at ``t+1``.  Positions
+    whose *target* is padding are excluded via ``attention_mask`` /
+    ``pad_id``.
+    """
+    input_ids = np.asarray(input_ids, dtype=np.int64)
+    if input_ids.ndim != 2:
+        raise ValueError("causal_lm_loss expects (batch, seq) input_ids")
+    shifted_logits = logits[:, :-1, :]
+    targets = input_ids[:, 1:].copy()
+    ignore = -100
+    if attention_mask is not None:
+        mask = np.asarray(attention_mask, dtype=bool)[:, 1:]
+        targets = np.where(mask, targets, ignore)
+    elif pad_id is not None:
+        targets = np.where(targets == pad_id, ignore, targets)
+    return F.cross_entropy(shifted_logits, targets, ignore_index=ignore)
+
+
+def completion_only_loss(
+    logits: Tensor, input_ids: np.ndarray, answer_mask: np.ndarray
+) -> Tensor:
+    """Next-token loss restricted to the answer positions.
+
+    ``answer_mask`` is a boolean (batch, seq) array marking the tokens the
+    model must learn to produce (e.g. the ``Normal``/``Abnormal`` category
+    token at the end of an instruction-formatted example); every other
+    position is ignored.  This is the standard completion-only fine-tuning
+    objective and concentrates the gradient on the decision token instead of
+    diluting it over the prompt.
+    """
+    input_ids = np.asarray(input_ids, dtype=np.int64)
+    answer_mask = np.asarray(answer_mask, dtype=bool)
+    if answer_mask.shape != input_ids.shape:
+        raise ValueError("answer_mask must have the same shape as input_ids")
+    if not answer_mask.any():
+        raise ValueError("answer_mask selects no positions")
+    ignore = -100
+    targets = np.where(answer_mask, input_ids, ignore)[:, 1:]
+    return F.cross_entropy(logits[:, :-1, :], targets, ignore_index=ignore)

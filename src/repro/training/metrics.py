@@ -1,0 +1,161 @@
+"""Binary-classification and ranking metrics reported in the paper.
+
+Implemented from scratch on NumPy (no scikit-learn dependency): accuracy,
+precision, recall, F1 (Fig. 4/6, Table II), ROC-AUC, average precision and
+precision@k (Table IV), plus a confusion matrix and a combined report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "roc_auc_score",
+    "average_precision_score",
+    "precision_at_k",
+    "confusion_matrix",
+    "MetricReport",
+    "classification_report",
+]
+
+
+def _validate(y_true: np.ndarray, y_other: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_other = np.asarray(y_other)
+    if y_true.shape != y_other.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_other.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics are undefined on empty arrays")
+    return y_true, y_other
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2×2 confusion matrix ``[[TN, FP], [FN, TP]]`` for binary labels."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    matrix = np.zeros((2, 2), dtype=np.int64)
+    for t in (0, 1):
+        for p in (0, 1):
+            matrix[t, p] = int(np.sum((y_true == t) & (y_pred == p)))
+    return matrix
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FP); 0 when nothing is predicted positive."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fp = cm[1, 1], cm[0, 1]
+    return float(tp / (tp + fp)) if (tp + fp) else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FN); 0 when there are no positives."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fn = cm[1, 1], cm[1, 0]
+    return float(tp / (tp + fn)) if (tp + fn) else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    return float(2 * p * r / (p + r)) if (p + r) else 0.0
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic (tie-aware)."""
+    y_true, y_score = _validate(y_true, y_score)
+    pos = y_score[y_true == 1]
+    neg = y_score[y_true == 0]
+    if len(pos) == 0 or len(neg) == 0:
+        raise ValueError("roc_auc_score requires both classes to be present")
+    # Rank-based computation handles ties by assigning average ranks.
+    order = np.argsort(np.concatenate([neg, pos]), kind="mergesort")
+    scores = np.concatenate([neg, pos])[order]
+    ranks = np.empty_like(scores)
+    i = 0
+    position = 1
+    n = len(scores)
+    while i < n:
+        j = i
+        while j + 1 < n and scores[j + 1] == scores[i]:
+            j += 1
+        avg_rank = (position + position + (j - i)) / 2.0
+        ranks[i : j + 1] = avg_rank
+        position += j - i + 1
+        i = j + 1
+    is_pos = np.zeros(n, dtype=bool)
+    is_pos[order >= len(neg)] = True
+    rank_sum_pos = ranks[is_pos].sum()
+    auc = (rank_sum_pos - len(pos) * (len(pos) + 1) / 2.0) / (len(pos) * len(neg))
+    return float(auc)
+
+
+def average_precision_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve, step-wise)."""
+    y_true, y_score = _validate(y_true, y_score)
+    total_pos = int(np.sum(y_true == 1))
+    if total_pos == 0:
+        raise ValueError("average_precision_score requires at least one positive")
+    order = np.argsort(-y_score, kind="mergesort")
+    sorted_true = np.asarray(y_true)[order]
+    tp_cum = np.cumsum(sorted_true == 1)
+    precision = tp_cum / np.arange(1, len(sorted_true) + 1)
+    recall_gain = (sorted_true == 1).astype(np.float64) / total_pos
+    return float(np.sum(precision * recall_gain))
+
+
+def precision_at_k(y_true: np.ndarray, y_score: np.ndarray, k: int | None = None) -> float:
+    """Precision among the top-k scored items (k defaults to the positive count)."""
+    y_true, y_score = _validate(y_true, y_score)
+    if k is None:
+        k = int(np.sum(y_true == 1))
+    if k <= 0:
+        raise ValueError("k must be positive (or there must be at least one positive)")
+    k = min(k, len(y_true))
+    top = np.argsort(-y_score, kind="mergesort")[:k]
+    return float(np.mean(np.asarray(y_true)[top] == 1))
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """Bundle of the classification metrics the paper plots per epoch (Fig. 6)."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"acc={self.accuracy:.4f} prec={self.precision:.4f} "
+            f"rec={self.recall:.4f} f1={self.f1:.4f}"
+        )
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> MetricReport:
+    """Compute accuracy / precision / recall / F1 in one call."""
+    return MetricReport(
+        accuracy=accuracy_score(y_true, y_pred),
+        precision=precision_score(y_true, y_pred),
+        recall=recall_score(y_true, y_pred),
+        f1=f1_score(y_true, y_pred),
+    )

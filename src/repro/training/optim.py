@@ -1,0 +1,141 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam, AdamW).
+
+The optimizers operate on the parameters of a :class:`repro.nn.Module`; only
+parameters with ``requires_grad=True`` are updated, which is what makes the
+freezing-based catastrophic-forgetting mitigation (Table II) and LoRA
+fine-tuning work without any special casing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    params = [p for p in parameters if p.requires_grad and p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _active_parameters(self) -> list[Parameter]:
+        return [p for p in self.parameters if p.requires_grad and p.grad is not None]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p in self._active_parameters():
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = self._velocity.get(id(p))
+                buf = grad if buf is None else self.momentum * buf + grad
+                self._velocity[id(p)] = buf
+                grad = buf
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t: dict[int, int] = {}
+
+    def _update(self, p: Parameter, grad: np.ndarray) -> np.ndarray:
+        key = id(p)
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m = self._m.get(key)
+        v = self._v.get(key)
+        m = grad * (1 - self.beta1) if m is None else self.beta1 * m + (1 - self.beta1) * grad
+        v = (grad**2) * (1 - self.beta2) if v is None else self.beta2 * v + (1 - self.beta2) * grad**2
+        self._m[key], self._v[key] = m, v
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p in self._active_parameters():
+            grad = p.grad
+            if self.weight_decay:
+                # Classic (L2-style) coupling for plain Adam.
+                grad = grad + self.weight_decay * p.data
+            p.data = p.data - self.lr * self._update(p, grad)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the HuggingFace fine-tuning default)."""
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p in self._active_parameters():
+            update = self._update(p, p.grad)
+            if self.weight_decay:
+                p.data = p.data - self.lr * self.weight_decay * p.data
+            p.data = p.data - self.lr * update

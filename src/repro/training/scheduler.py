@@ -1,0 +1,82 @@
+"""Learning-rate schedules used during fine-tuning."""
+
+from __future__ import annotations
+
+import math
+
+from repro.training.optim import Optimizer
+
+__all__ = ["ConstantSchedule", "LinearWarmupSchedule", "CosineSchedule"]
+
+
+class _Schedule:
+    """Base class: wraps an optimizer and rewrites ``optimizer.lr`` each step."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float | None = None) -> None:
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self.current_step = 0
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate."""
+        self.current_step += 1
+        lr = self.lr_at(self.current_step)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(_Schedule):
+    """Keep the learning rate fixed."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class LinearWarmupSchedule(_Schedule):
+    """Linear warmup followed by linear decay to zero over ``total_steps``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        base_lr: float | None = None,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if not 0 <= warmup_steps <= total_steps:
+            raise ValueError("warmup_steps must lie in [0, total_steps]")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        return self.base_lr * remaining / denom
+
+
+class CosineSchedule(_Schedule):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_steps``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        total_steps: int,
+        min_lr: float = 0.0,
+        base_lr: float | None = None,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))

@@ -1,0 +1,121 @@
+"""Transfer learning across workflows (paper Fig. 10 / Fig. 11).
+
+Two questions are answered here:
+
+1. How well does a model fine-tuned on workflow A classify jobs of workflow B
+   *without* any adaptation?  (:func:`evaluate_transfer_matrix` → the 3×3
+   accuracy matrix of Fig. 10.)
+2. How quickly does target-domain fine-tuning close the gap as a growing
+   fraction of the target training data is used?  (:func:`finetune_on_target`
+   → the accuracy-vs-percentage curve of Fig. 11.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.training.trainer import SFTTrainer
+from repro.utils.rng import new_rng
+
+__all__ = ["TransferResult", "evaluate_transfer_matrix", "finetune_on_target"]
+
+
+@dataclass
+class TransferResult:
+    """Accuracy matrix indexed by (train dataset, eval dataset)."""
+
+    datasets: list[str]
+    accuracy: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def matrix(self) -> np.ndarray:
+        """Dense matrix with rows = training dataset, columns = evaluation dataset."""
+        out = np.zeros((len(self.datasets), len(self.datasets)))
+        for i, train_name in enumerate(self.datasets):
+            for j, eval_name in enumerate(self.datasets):
+                out[i, j] = self.accuracy.get((train_name, eval_name), np.nan)
+        return out
+
+    def diagonal_mean(self) -> float:
+        """Mean in-domain accuracy."""
+        return float(np.mean([self.accuracy[(d, d)] for d in self.datasets]))
+
+    def off_diagonal_mean(self) -> float:
+        """Mean cross-domain (transfer) accuracy."""
+        values = [
+            self.accuracy[(a, b)] for a in self.datasets for b in self.datasets if a != b
+        ]
+        return float(np.mean(values))
+
+
+def evaluate_transfer_matrix(
+    trainers: Mapping[str, SFTTrainer],
+    eval_splits: Mapping[str, object],
+) -> TransferResult:
+    """Evaluate every trained model on every dataset's test split.
+
+    Parameters
+    ----------
+    trainers:
+        Mapping ``dataset name → fitted SFTTrainer`` (model trained on that
+        dataset).
+    eval_splits:
+        Mapping ``dataset name → DatasetSplit`` used for evaluation.
+    """
+    datasets = list(trainers)
+    result = TransferResult(datasets=datasets)
+    for train_name, trainer in trainers.items():
+        for eval_name in datasets:
+            split = eval_splits[eval_name]
+            report = trainer.evaluate(split.sentences(), split.labels())
+            result.accuracy[(train_name, eval_name)] = report.accuracy
+    return result
+
+
+def finetune_on_target(
+    trainer: SFTTrainer,
+    target_train_split,
+    target_test_split,
+    *,
+    fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    epochs_per_stage: int = 1,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Fine-tune a source-trained model on growing fractions of target data.
+
+    At fraction 0.0 the source model is evaluated as-is; every subsequent
+    stage fine-tunes on that percentage of the target training split
+    (sampled without replacement, stratified by label) and re-evaluates on
+    the target test split.  Returns one row per fraction with the accuracy,
+    reproducing the accumulation curve of Fig. 11.
+    """
+    rng = new_rng(seed)
+    rows: list[dict[str, float]] = []
+    base_state = trainer.model.state_dict()
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fractions must lie in [0, 1], got {fraction}")
+        # Restart from the source model each stage so stages are comparable.
+        trainer.model.load_state_dict(base_state)
+        if fraction > 0.0:
+            n = max(int(round(fraction * len(target_train_split))), 1)
+            subset = target_train_split.subsample(n, rng=rng)
+            original_epochs = trainer.config.epochs
+            trainer.config.epochs = epochs_per_stage
+            try:
+                trainer.fit(subset.sentences(), subset.labels())
+            finally:
+                trainer.config.epochs = original_epochs
+        report = trainer.evaluate(target_test_split.sentences(), target_test_split.labels())
+        rows.append(
+            {
+                "fraction": float(fraction),
+                "accuracy": report.accuracy,
+                "f1": report.f1,
+                "precision": report.precision,
+                "recall": report.recall,
+            }
+        )
+    return rows

@@ -1,0 +1,23 @@
+"""Utility helpers shared across the :mod:`repro` library.
+
+The utilities are deliberately small and dependency free: deterministic RNG
+management (:mod:`repro.utils.rng`), wall-clock timing helpers
+(:mod:`repro.utils.timing`) and light-weight array/JSON persistence
+(:mod:`repro.utils.io`).
+"""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.io import load_json, load_npz, save_json, save_npz
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "load_json",
+    "save_json",
+    "load_npz",
+    "save_npz",
+]

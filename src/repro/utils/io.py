@@ -1,0 +1,48 @@
+"""Minimal persistence helpers (JSON metadata, NPZ weight archives)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["save_json", "load_json", "save_npz", "load_npz"]
+
+
+def save_json(path: str | Path, payload: Any, *, indent: int = 2) -> Path:
+    """Write ``payload`` as JSON, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=indent, sort_keys=True, default=_json_default))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Read a JSON document written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"object of type {type(obj)!r} is not JSON serialisable")
+
+
+def save_npz(path: str | Path, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Persist a flat mapping of named arrays (used for model state dicts)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+    return path
+
+
+def load_npz(path: str | Path) -> dict[str, np.ndarray]:
+    """Load an NPZ archive into an ordinary dict of arrays."""
+    with np.load(path, allow_pickle=False) as data:
+        return {k: data[k] for k in data.files}

@@ -1,0 +1,67 @@
+"""Deterministic random-number-generation helpers.
+
+Every stochastic component in the library (weight initialisation, dropout,
+workflow simulation, anomaly injection, data splits, few-shot sampling)
+accepts either an integer seed or a :class:`numpy.random.Generator`.  This
+module centralises the conversion so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["new_rng", "spawn_rngs", "RngMixin"]
+
+
+def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer seed, or an existing
+        generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``seed``.
+
+    Child generators are derived through ``Generator.spawn`` so that the
+    streams do not overlap even for adjacent integer seeds.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = new_rng(seed)
+    return list(rng.spawn(n))
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created, seedable ``self.rng``.
+
+    Classes using the mixin should call :meth:`_init_rng` in ``__init__``.
+    """
+
+    rng: np.random.Generator
+
+    def _init_rng(self, seed: int | np.random.Generator | None = None) -> None:
+        self.rng = new_rng(seed)
+
+    def reseed(self, seed: int | np.random.Generator | None) -> None:
+        """Replace the internal generator (useful for repeated experiments)."""
+        self.rng = new_rng(seed)
+
+    def choice_without_replacement(
+        self, items: Sequence | Iterable, k: int
+    ) -> list:
+        """Sample ``k`` distinct items from ``items`` using the internal RNG."""
+        items = list(items)
+        if k > len(items):
+            raise ValueError(f"cannot sample {k} items from a population of {len(items)}")
+        idx = self.rng.choice(len(items), size=k, replace=False)
+        return [items[i] for i in idx]

@@ -1,0 +1,64 @@
+"""Timing helpers used by the training loop and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["Timer", "timed"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.measure():
+    ...     _ = sum(range(1000))
+    >>> t.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    count: int = 0
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.total += elapsed
+            self.count += 1
+            self.laps.append(elapsed)
+
+    @property
+    def mean(self) -> float:
+        """Mean duration across measured laps (0 when nothing measured)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.laps.clear()
+
+
+def timed(fn: Callable[..., T]) -> Callable[..., tuple[T, float]]:
+    """Wrap ``fn`` so it returns ``(result, elapsed_seconds)``."""
+
+    def wrapper(*args, **kwargs) -> tuple[T, float]:
+        start = time.perf_counter()
+        out = fn(*args, **kwargs)
+        return out, time.perf_counter() - start
+
+    wrapper.__name__ = getattr(fn, "__name__", "timed")
+    wrapper.__doc__ = fn.__doc__
+    return wrapper

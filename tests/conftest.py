@@ -1,0 +1,34 @@
+"""Shared fixtures: a small dataset, tokenizer and registry reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowbench import generate_dataset
+from repro.models.registry import ModelRegistry
+from repro.tokenization import LogTokenizer
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small 1000 Genome dataset (4 traces) shared by the test session."""
+    return generate_dataset("1000genome", num_traces=4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def montage_dataset():
+    """A tiny Montage dataset (2 traces)."""
+    return generate_dataset("montage", num_traces=2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(small_dataset):
+    """Tokenizer built from the small dataset's training sentences."""
+    return LogTokenizer.build_from_corpus(small_dataset.train.sentences())
+
+
+@pytest.fixture(scope="session")
+def registry(tokenizer, small_dataset):
+    """A registry with very light synthetic pre-training (fast)."""
+    corpus = small_dataset.train.sentences()[:120]
+    return ModelRegistry(tokenizer, corpus, pretrain_steps=3, seed=0)

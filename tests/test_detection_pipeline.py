@@ -1,0 +1,126 @@
+"""Integration tests for the public detection API: pipeline, online and early detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import WorkflowAnomalyDetector, early_detection_statistics
+from repro.detection.online import OnlineDetector
+from repro.tokenization.templates import FEATURE_ORDER, JobRecord
+from repro.training import SFTTrainer, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_detector(registry, small_dataset):
+    detector = WorkflowAnomalyDetector.from_pretrained(
+        "distilbert-base-uncased",
+        registry=registry,
+        training_config=TrainingConfig(epochs=4, max_length=40, seed=0),
+    )
+    detector.fit_split(small_dataset.train.subsample(600, rng=0))
+    return detector
+
+
+class TestPipeline:
+    def test_requires_fit_before_predict(self, registry):
+        detector = WorkflowAnomalyDetector.from_pretrained("albert-base-v2", registry=registry)
+        with pytest.raises(RuntimeError):
+            detector.predict(["runtime is 10.0"])
+
+    def test_end_to_end_accuracy(self, fitted_detector, small_dataset):
+        report = fitted_detector.evaluate_split(small_dataset.test)
+        majority = 1 - small_dataset.test.anomaly_fraction()
+        assert report.accuracy > majority
+        assert report.recall > 0.3
+
+    def test_predict_and_scores_align(self, fitted_detector, small_dataset):
+        sentences = small_dataset.test.sentences()[:20]
+        labels = fitted_detector.predict(sentences)
+        scores = fitted_detector.anomaly_scores(sentences)
+        np.testing.assert_array_equal(labels, (scores > 0.5).astype(int))
+
+    def test_predict_records(self, fitted_detector, small_dataset):
+        records = small_dataset.test.records[:10]
+        labels = fitted_detector.predict_records(records)
+        assert labels.shape == (10,)
+
+    def test_fit_records_path(self, registry, small_dataset):
+        detector = WorkflowAnomalyDetector.from_pretrained(
+            "albert-base-v2", registry=registry,
+            training_config=TrainingConfig(epochs=1, max_length=40),
+        )
+        detector.fit_records(small_dataset.train.records[:100])
+        assert detector.predict(["runtime is 10.0"]).shape == (1,)
+
+    def test_debias_flag_augments_training(self, registry, small_dataset):
+        detector = WorkflowAnomalyDetector.from_pretrained(
+            "albert-base-v2", registry=registry,
+            training_config=TrainingConfig(epochs=1, max_length=40), debias=True,
+        )
+        sub = small_dataset.train.subsample(100, rng=1)
+        detector.fit(sub.sentences(), sub.labels())
+        assert detector.predict(["runtime is 10.0"]).shape == (1,)
+
+
+class TestOnlineDetection:
+    def test_stream_yields_one_prediction_per_feature(self, fitted_detector, small_dataset):
+        record = small_dataset.test.records[0]
+        predictions = fitted_detector.stream(record)
+        assert len(predictions) == len(FEATURE_ORDER)
+        assert [p.latest_feature for p in predictions] == list(FEATURE_ORDER)
+        assert predictions[0].sentence.count(" is ") == 1
+        assert predictions[-1].sentence.count(" is ") == len(FEATURE_ORDER)
+
+    def test_label_names_follow_paper_convention(self, fitted_detector, small_dataset):
+        prediction = fitted_detector.stream(small_dataset.test.records[0])[0]
+        assert prediction.label_name in ("LABEL_0", "LABEL_1")
+        assert 0.0 <= prediction.score <= 1.0
+
+    def test_detect_returns_first_anomalous_flag_or_none(self, fitted_detector, small_dataset):
+        online = fitted_detector.online
+        anomalous = next(r for r in small_dataset.test.records if r.label == 1)
+        normal = next(r for r in small_dataset.test.records if r.label == 0)
+        flagged = online.detect(anomalous, threshold=0.0)
+        assert flagged is None or flagged.label == 1
+        result = online.detect(normal, threshold=0.999999)
+        assert result is None or result.score >= 0.999999
+
+    def test_stream_requires_known_features(self, fitted_detector):
+        with pytest.raises(ValueError):
+            fitted_detector.stream(JobRecord(features={"unknown_feature": 1.0}))
+
+    def test_first_correct_step_requires_label(self, fitted_detector):
+        online = fitted_detector.online
+        with pytest.raises(ValueError):
+            online.first_correct_step(JobRecord(features={"runtime": 1.0}, label=None))
+
+
+class TestEarlyDetection:
+    def test_statistics_account_for_every_job(self, fitted_detector, small_dataset):
+        records = small_dataset.test.subsample(40, rng=2).records
+        stats = fitted_detector.early_detection(records)
+        counted = sum(count for _, count in stats.as_series()) + stats.never_detected
+        assert counted == len(records)
+        assert stats.total_jobs == len(records)
+        assert stats.detected_jobs == len(records) - stats.never_detected
+
+    def test_most_jobs_detected_at_first_stage(self, fitted_detector, small_dataset):
+        """Fig. 8: the bulk of jobs are correctly classified from wms_delay alone."""
+        records = small_dataset.test.subsample(60, rng=3).records
+        stats = fitted_detector.early_detection(records)
+        assert stats.fraction_detected_by("wms_delay") > 0.3
+        assert stats.fraction_detected_by(FEATURE_ORDER[-1]) >= stats.fraction_detected_by("wms_delay")
+
+    def test_fraction_detected_by_unknown_feature(self, fitted_detector, small_dataset):
+        stats = fitted_detector.early_detection(small_dataset.test.subsample(5, rng=4).records)
+        with pytest.raises(KeyError):
+            stats.fraction_detected_by("not_a_feature")
+
+    def test_standalone_function_with_raw_trainer(self, registry, small_dataset):
+        model = registry.load_encoder("albert-base-v2")
+        trainer = SFTTrainer(model, registry.tokenizer, TrainingConfig(epochs=1, max_length=40))
+        sub = small_dataset.train.subsample(120, rng=5)
+        trainer.fit(sub.sentences(), sub.labels())
+        stats = early_detection_statistics(OnlineDetector(trainer), small_dataset.test.records[:10])
+        assert stats.total_jobs == 10

@@ -1,0 +1,268 @@
+"""Tests for the Flow-Bench substrate: workflows, anomalies, simulator, dataset, parsing."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flowbench import (
+    ALL_ANOMALIES,
+    AnomalySpec,
+    WorkflowSimulator,
+    build_1000genome_workflow,
+    build_montage_workflow,
+    build_sales_prediction_workflow,
+    build_workflow,
+    generate_dataset,
+    generate_flowbench,
+    parse_log_lines,
+    parse_trace_logs,
+    sample_anomaly,
+)
+from repro.flowbench.anomalies import get_anomaly
+from repro.flowbench.dataset import DEFAULT_TRACE_COUNTS, DatasetSplit
+from repro.tokenization.templates import FEATURE_ORDER
+
+
+class TestWorkflows:
+    @pytest.mark.parametrize(
+        "builder,expected_nodes",
+        [
+            (build_1000genome_workflow, 137),
+            (build_montage_workflow, 539),
+            (build_sales_prediction_workflow, 165),
+        ],
+    )
+    def test_node_counts_match_paper(self, builder, expected_nodes):
+        spec = builder()
+        assert spec.num_jobs == expected_nodes
+
+    @pytest.mark.parametrize(
+        "builder",
+        [build_1000genome_workflow, build_montage_workflow, build_sales_prediction_workflow],
+    )
+    def test_dags_are_acyclic_and_typed(self, builder):
+        spec = builder()
+        assert nx.is_directed_acyclic_graph(spec.dag)
+        spec.validate()
+        for node in spec.dag.nodes:
+            assert spec.profile(node).runtime_mean > 0
+
+    def test_total_default_traces_match_flowbench_size(self):
+        assert sum(DEFAULT_TRACE_COUNTS.values()) == 1211
+
+    def test_topological_order_respects_edges(self):
+        spec = build_1000genome_workflow()
+        order = {job: i for i, job in enumerate(spec.topological_jobs())}
+        for u, v in spec.dag.edges():
+            assert order[u] < order[v]
+
+    def test_build_workflow_aliases(self):
+        assert build_workflow("1000 Genome").name == "1000genome"
+        assert build_workflow("sales").name == "predict_future_sales"
+        with pytest.raises(KeyError):
+            build_workflow("does-not-exist")
+
+
+class TestAnomalies:
+    def test_cpu_slowdown_factors_increase_with_magnitude(self):
+        factors = [get_anomaly(f"cpu_{m}").slowdown_factor() for m in (2, 3, 4)]
+        assert factors == sorted(factors)
+        assert factors[0] > 1.0
+
+    def test_hdd_lower_cap_means_bigger_slowdown(self):
+        assert get_anomaly("hdd_5").slowdown_factor() > get_anomaly("hdd_10").slowdown_factor()
+
+    def test_cpu_anomaly_inflates_cpu_time_not_staging(self):
+        spec = build_1000genome_workflow()
+        profile = spec.profiles["individuals"]
+        features = {
+            "wms_delay": 5.0, "queue_delay": 20.0, "runtime": 1000.0,
+            "post_script_delay": 5.0, "stage_in_delay": 60.0, "stage_out_delay": 6.0,
+            "stage_in_bytes": 1e8, "stage_out_bytes": 1e7, "cpu_time": 900.0,
+        }
+        rng = np.random.default_rng(0)
+        perturbed = get_anomaly("cpu_4").apply(features, profile, rng)
+        assert perturbed["cpu_time"] > features["cpu_time"] * 1.3
+        assert perturbed["runtime"] > features["runtime"]
+        assert perturbed["stage_in_delay"] == features["stage_in_delay"]
+
+    def test_hdd_anomaly_inflates_staging(self):
+        spec = build_1000genome_workflow()
+        profile = spec.profiles["individuals_merge"]
+        features = {
+            "wms_delay": 5.0, "queue_delay": 20.0, "runtime": 900.0,
+            "post_script_delay": 5.0, "stage_in_delay": 90.0, "stage_out_delay": 6.0,
+            "stage_in_bytes": 4e8, "stage_out_bytes": 3e8, "cpu_time": 700.0,
+        }
+        rng = np.random.default_rng(0)
+        perturbed = get_anomaly("hdd_10").apply(features, profile, rng)
+        assert perturbed["stage_in_delay"] > features["stage_in_delay"] * 5
+        assert perturbed["cpu_time"] == pytest.approx(features["cpu_time"], rel=0.1)
+
+    def test_sample_anomaly_respects_categories(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert sample_anomaly(rng, ("cpu",)).category == "cpu"
+        with pytest.raises(ValueError):
+            sample_anomaly(rng, ("gpu",))
+
+    def test_unknown_anomaly_name(self):
+        with pytest.raises(KeyError):
+            get_anomaly("cpu_99")
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalySpec("weird", "net", 3).slowdown_factor()
+
+
+class TestSimulator:
+    def test_normal_trace_has_no_anomalies(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), seed=0)
+        trace = sim.simulate(anomaly=None)
+        assert trace.num_jobs == 137
+        assert trace.num_anomalous == 0
+        assert all(set(FEATURE_ORDER) == set(r.features) for r in trace.records)
+
+    def test_anomalous_trace_labels_subset_of_jobs(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), affected_fraction=0.4, seed=0)
+        trace = sim.simulate(anomaly=get_anomaly("hdd_5"))
+        assert 0 < trace.num_anomalous < trace.num_jobs
+        assert trace.num_anomalous == pytest.approx(0.4 * trace.num_jobs, rel=0.4)
+        assert all(r.anomaly_type == "hdd_5" for r in trace.records if r.label == 1)
+
+    def test_features_are_positive(self):
+        sim = WorkflowSimulator(build_sales_prediction_workflow(), seed=1)
+        trace = sim.simulate(sample_anomaly(np.random.default_rng(0)))
+        matrix = trace.feature_matrix()
+        assert np.all(matrix > 0)
+
+    def test_log_lines_emitted_per_job(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), seed=0)
+        trace = sim.simulate()
+        assert len(trace.log_lines) == 7 * trace.num_jobs
+
+    def test_simulate_many_anomaly_probability(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), seed=0)
+        traces = sim.simulate_many(10, anomaly_probability=1.0)
+        assert all(t.anomaly is not None for t in traces)
+        traces = sim.simulate_many(5, anomaly_probability=0.0)
+        assert all(t.anomaly is None for t in traces)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WorkflowSimulator(build_1000genome_workflow(), num_workers=0)
+        with pytest.raises(ValueError):
+            WorkflowSimulator(build_1000genome_workflow(), affected_fraction=1.5)
+        sim = WorkflowSimulator(build_1000genome_workflow())
+        with pytest.raises(ValueError):
+            sim.simulate_many(3, anomaly_probability=2.0)
+
+    def test_trace_ids_increment(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), seed=0)
+        ids = [sim.simulate().trace_id for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+
+class TestParsing:
+    def test_roundtrip_simulator_logs(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), seed=3)
+        trace = sim.simulate(get_anomaly("cpu_3"))
+        parsed = parse_log_lines(trace.log_lines)
+        assert len(parsed) == trace.num_jobs
+        by_name = {r.job_name: r for r in parsed}
+        for record in trace.records:
+            np.testing.assert_allclose(
+                by_name[record.job_name].feature_vector(), record.feature_vector(), rtol=1e-6
+            )
+
+    def test_labels_attached_from_mapping(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), seed=4)
+        trace = sim.simulate(get_anomaly("hdd_5"))
+        labels = {r.job_name: int(r.label) for r in trace.records}
+        parsed = parse_trace_logs(trace.log_lines, labels)
+        assert sum(r.label for r in parsed) == trace.num_anomalous
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_log_lines(["ts=1.0 event=SUBMIT"])  # missing job
+        with pytest.raises(ValueError):
+            parse_log_lines(["ts=1.0 job=a event=USAGE cpu_time=abc"])
+
+    def test_blank_lines_ignored(self):
+        sim = WorkflowSimulator(build_1000genome_workflow(), seed=5)
+        trace = sim.simulate()
+        lines = ["", *trace.log_lines, "   "]
+        assert len(parse_log_lines(lines)) == trace.num_jobs
+
+
+class TestDataset:
+    def test_split_ratios(self, small_dataset):
+        total = len(small_dataset.train) + len(small_dataset.validation) + len(small_dataset.test)
+        assert total == 4 * 137
+        assert len(small_dataset.train) == pytest.approx(0.8 * total, rel=0.05)
+
+    def test_statistics_format_matches_table1(self, small_dataset):
+        rows = small_dataset.statistics()
+        assert {r["split"] for r in rows} == {"train", "validation", "test"}
+        for row in rows:
+            assert row["num_normal"] + row["num_anomalous"] > 0
+            assert 0.0 <= row["anomaly_fraction"] <= 1.0
+
+    def test_anomaly_fraction_close_to_paper(self):
+        dataset = generate_dataset("1000genome", num_traces=30, seed=2)
+        assert dataset.train.anomaly_fraction() == pytest.approx(0.3264, abs=0.08)
+
+    def test_normalized_features_standardised(self, small_dataset):
+        train = small_dataset.normalized_features("train")
+        np.testing.assert_allclose(train.mean(axis=0), np.zeros(train.shape[1]), atol=1e-5)
+        np.testing.assert_allclose(train.std(axis=0), np.ones(train.shape[1]), atol=1e-3)
+
+    def test_trace_graphs_shapes(self, small_dataset):
+        graphs = small_dataset.trace_graphs()
+        assert len(graphs) == 4
+        g = graphs[0]
+        n = small_dataset.spec.num_jobs
+        assert g["adjacency"].shape == (n, n)
+        assert g["features"].shape == (n, len(FEATURE_ORDER))
+        assert g["labels"].shape == (n,)
+        # adjacency is symmetric (undirected message passing)
+        np.testing.assert_allclose(g["adjacency"], g["adjacency"].T)
+
+    def test_subsample_stratified_preserves_ratio(self, small_dataset):
+        sub = small_dataset.train.subsample(100, rng=0)
+        assert len(sub) == 100
+        assert sub.anomaly_fraction() == pytest.approx(small_dataset.train.anomaly_fraction(), abs=0.1)
+
+    def test_subsample_larger_than_split_returns_all(self, small_dataset):
+        sub = small_dataset.validation.subsample(10_000, rng=0)
+        assert len(sub) == len(small_dataset.validation)
+
+    def test_filter_and_merge(self, small_dataset):
+        normal = small_dataset.train.filter_by_label(0)
+        anomalous = small_dataset.train.filter_by_label(1)
+        assert len(normal) + len(anomalous) == len(small_dataset.train)
+        assert len(normal.merge(anomalous)) == len(small_dataset.train)
+
+    def test_sentences_and_labels_align(self, small_dataset):
+        split = small_dataset.test
+        sentences = split.sentences(include_label=True)
+        labels = split.labels()
+        for sentence, label in zip(sentences[:50], labels[:50]):
+            assert sentence.endswith("Abnormal") == bool(label)
+
+    def test_generate_flowbench_returns_all_workflows(self):
+        datasets = generate_flowbench(num_traces=2, seed=0)
+        assert set(datasets) == {"1000genome", "montage", "predict_future_sales"}
+
+    def test_invalid_split_ratio(self):
+        with pytest.raises(ValueError):
+            generate_dataset("1000genome", num_traces=2, split_ratios=(0.5, 0.4, 0.2))
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=50))
+    def test_dataset_split_len_invariant(self, n):
+        split = DatasetSplit([])
+        assert len(split) == 0 and split.anomaly_fraction() == 0.0

@@ -1,0 +1,220 @@
+"""Tests for prompts, few-shot selection, the ICL engine, CoT and LoRA fine-tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.icl import (
+    CATEGORY_ABNORMAL,
+    CATEGORY_NORMAL,
+    ChainOfThoughtExplainer,
+    FewShotSelector,
+    ICLEngine,
+    ICLFineTuneConfig,
+    ICLFineTuner,
+    PromptTemplate,
+    build_prompt,
+    build_task_description,
+    format_example,
+)
+from repro.tokenization.templates import JobRecord
+
+
+@pytest.fixture(scope="module")
+def decoder_engine(registry):
+    model = registry.load_decoder("gpt2")
+    return ICLEngine(model, registry.tokenizer)
+
+
+def record(label=0, runtime=100.0):
+    return JobRecord(
+        features={"wms_delay": 5.0, "queue_delay": 20.0, "runtime": runtime, "cpu_time": runtime * 0.9},
+        label=label,
+    )
+
+
+class TestPrompts:
+    def test_task_description_contains_categories_and_features(self):
+        text = build_task_description(("runtime", "cpu_time"))
+        assert CATEGORY_NORMAL in text and CATEGORY_ABNORMAL in text
+        assert "runtime, cpu_time" in text
+        assert "only respond with the category" in text.lower()
+
+    def test_cot_variant_drops_category_only_constraint(self):
+        text = build_task_description(("runtime",), ask_category_only=False)
+        assert "only respond" not in text.lower()
+
+    def test_format_example_with_and_without_category(self):
+        example = format_example(record(label=1))
+        assert example.startswith("Instruct: ") and example.endswith("Category: Abnormal")
+        query = format_example(record(), with_category=False)
+        assert query.endswith("Category:")
+
+    def test_format_example_requires_label(self):
+        with pytest.raises(ValueError):
+            format_example("runtime is 5.0", with_category=True)
+
+    def test_full_prompt_structure(self):
+        prompt = build_prompt(record(), examples=[(record(0), 0), (record(1), 1)])
+        assert prompt.count("Instruct:") == 3
+        assert prompt.count("Category: Normal") == 1
+        assert prompt.count("Category: Abnormal") == 1
+        assert prompt.rstrip().endswith("Category:")
+
+    def test_cot_prompt_appends_instruction(self):
+        prompt = build_prompt(record(), chain_of_thought=True)
+        assert prompt.endswith("Please think about it step by step.")
+
+    def test_compact_template_omits_task_description(self):
+        compact = PromptTemplate(include_task_description=False).build(record())
+        assert "system administration bot" not in compact
+        full = PromptTemplate().build(record())
+        assert "system administration bot" in full
+
+
+class TestFewShotSelector:
+    def make_pool(self):
+        return [record(label=i % 2, runtime=100.0 + i) for i in range(20)]
+
+    def test_modes_return_requested_composition(self):
+        pool = self.make_pool()
+        assert all(l == 0 for _, l in FewShotSelector(pool, mode="neg", seed=0).select(6))
+        assert all(l == 1 for _, l in FewShotSelector(pool, mode="pos", seed=0).select(6))
+        mixed = FewShotSelector(pool, mode="mixed", seed=0).select(6)
+        labels = [l for _, l in mixed]
+        assert labels.count(0) == 3 and labels.count(1) == 3
+
+    def test_zero_and_negative_k(self):
+        selector = FewShotSelector(self.make_pool(), seed=0)
+        assert selector.select(0) == []
+        with pytest.raises(ValueError):
+            selector.select(-1)
+
+    def test_invalid_mode_and_empty_classes(self):
+        with pytest.raises(ValueError):
+            FewShotSelector(self.make_pool(), mode="other")
+        with pytest.raises(ValueError):
+            FewShotSelector([record(label=0)], mode="pos")
+
+    def test_class_counts(self):
+        selector = FewShotSelector(self.make_pool(), seed=0)
+        assert selector.class_counts() == {"normal": 10, "anomalous": 10}
+        assert selector.pool_size == 20
+
+
+class TestICLEngine:
+    def test_prediction_fields_and_score_range(self, decoder_engine):
+        prediction = decoder_engine.classify(record())
+        assert prediction.label in (0, 1)
+        assert prediction.category in (CATEGORY_NORMAL, CATEGORY_ABNORMAL)
+        assert 0.0 <= prediction.anomaly_score <= 1.0
+
+    def test_label_consistent_with_log_probs(self, decoder_engine):
+        prediction = decoder_engine.classify(record())
+        expected = int(prediction.log_prob_abnormal > prediction.log_prob_normal)
+        assert prediction.label == expected
+
+    def test_batch_and_evaluate(self, decoder_engine, small_dataset):
+        test = small_dataset.test.subsample(12, rng=0)
+        predictions = decoder_engine.classify_batch(test.records)
+        assert len(predictions) == 12
+        report = decoder_engine.evaluate(test.records, test.labels())
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_fewshot_prompting_runs(self, decoder_engine, small_dataset):
+        selector = FewShotSelector(small_dataset.train.records[:100], mode="mixed", seed=0)
+        test = small_dataset.test.subsample(6, rng=1)
+        report = decoder_engine.evaluate(
+            test.records, test.labels(), selector=selector, num_examples=4
+        )
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_anomaly_scores_vector(self, decoder_engine, small_dataset):
+        test = small_dataset.test.subsample(8, rng=2)
+        scores = decoder_engine.anomaly_scores(test.records)
+        assert scores.shape == (8,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_long_prompt_is_truncated_not_crashed(self, decoder_engine, small_dataset):
+        selector = FewShotSelector(small_dataset.train.records[:200], mode="mixed", seed=0)
+        examples = selector.select(30)  # far beyond the context window
+        prediction = decoder_engine.classify(small_dataset.test.records[0], examples)
+        assert prediction.label in (0, 1)
+
+
+class TestICLFineTuning:
+    def test_finetune_improves_over_raw_prompting(self, registry, small_dataset):
+        """Table III / Table IV claim: fine-tuned ICL beats raw prompting."""
+        model = registry.load_decoder("gpt2")
+        engine = ICLEngine(model, registry.tokenizer)
+        test = small_dataset.test.subsample(60, rng=3)
+        before = engine.evaluate(test.records, test.labels(), num_examples=0)
+        tuner = ICLFineTuner(
+            model,
+            registry.tokenizer,
+            ICLFineTuneConfig(epochs=5, batch_size=16, quantization_bits=None, seed=0),
+        )
+        result = tuner.finetune_split(small_dataset.train, max_records=700)
+        after = engine.evaluate(test.records, test.labels(), num_examples=0)
+        assert result.losses[-1] < result.losses[0]
+        assert after.accuracy >= before.accuracy
+        assert after.accuracy > 0.6
+
+    def test_parameter_summary_reports_reduction(self, registry):
+        model = registry.load_decoder("gpt2")
+        tuner = ICLFineTuner(
+            model,
+            registry.tokenizer,
+            ICLFineTuneConfig(train_token_embedding=False, quantization_bits=None),
+        )
+        summary = tuner.prepare()
+        assert summary.trainable_fraction < 0.5
+        # idempotent
+        assert tuner.prepare() is summary
+
+    def test_requires_labeled_records(self, registry):
+        model = registry.load_decoder("gpt2")
+        tuner = ICLFineTuner(model, registry.tokenizer)
+        with pytest.raises(ValueError):
+            tuner.finetune([JobRecord(features={"runtime": 1.0}, label=None)])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ICLFineTuneConfig(epochs=0)
+        with pytest.raises(ValueError):
+            ICLFineTuneConfig(lora_rank=0)
+
+
+class TestChainOfThought:
+    def test_explanation_structure(self, decoder_engine, small_dataset):
+        explainer = ChainOfThoughtExplainer(decoder_engine, small_dataset.train.records[:300])
+        query = next(r for r in small_dataset.test.records if r.label == 1)
+        result = explainer.explain(query)
+        assert len(result.steps) >= 3
+        text = result.text()
+        assert text.startswith("Sure, here's the step-by-step reasoning:")
+        assert "Therefore, the category is likely" in text
+        assert result.category in (CATEGORY_NORMAL, CATEGORY_ABNORMAL)
+        assert "step by step" in result.prompt
+
+    def test_statistic_vote_prefers_anomalous_for_extreme_job(self, decoder_engine, small_dataset):
+        explainer = ChainOfThoughtExplainer(decoder_engine, small_dataset.train.records[:300])
+        extreme = JobRecord(
+            features={name: 10.0 for name in small_dataset.train.records[0].features},
+            label=None,
+        )
+        extreme.features["stage_in_delay"] = 1e6
+        extreme.features["runtime"] = 1e6
+        result = explainer.explain(extreme)
+        assert result.votes_abnormal + result.votes_normal > 0
+
+    def test_requires_reference_records(self, decoder_engine):
+        with pytest.raises(ValueError):
+            ChainOfThoughtExplainer(decoder_engine, [])
+        with pytest.raises(ValueError):
+            ChainOfThoughtExplainer(decoder_engine, [record(label=0)])
+
+    def test_class_mean_lookup(self, decoder_engine, small_dataset):
+        explainer = ChainOfThoughtExplainer(decoder_engine, small_dataset.train.records[:300])
+        assert explainer.class_mean(1, "runtime") > explainer.class_mean(0, "runtime") * 0.5

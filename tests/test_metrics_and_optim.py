@@ -1,0 +1,230 @@
+"""Tests for metrics (vs. brute-force/known values) and optimizers/schedulers/losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Linear
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, functional as F
+from repro.training import (
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    CosineSchedule,
+    LinearWarmupSchedule,
+    SGD,
+    accuracy_score,
+    average_precision_score,
+    classification_report,
+    clip_grad_norm,
+    confusion_matrix,
+    f1_score,
+    precision_at_k,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.training.loss import causal_lm_loss, completion_only_loss
+
+
+class TestMetrics:
+    def test_accuracy_and_confusion(self):
+        y_true = np.array([0, 1, 1, 0])
+        y_pred = np.array([0, 1, 0, 1])
+        assert accuracy_score(y_true, y_pred) == 0.5
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm.tolist() == [[1, 1], [1, 1]]
+
+    def test_precision_recall_f1_known_values(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0])
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_degenerate_predictions(self):
+        y_true = np.array([0, 1])
+        all_negative = np.array([0, 0])
+        assert precision_score(y_true, all_negative) == 0.0
+        assert recall_score(y_true, all_negative) == 0.0
+        assert f1_score(y_true, all_negative) == 0.0
+
+    def test_roc_auc_perfect_and_random(self):
+        y_true = np.array([0, 0, 1, 1])
+        assert roc_auc_score(y_true, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+        assert roc_auc_score(y_true, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+        assert roc_auc_score(y_true, np.array([0.5, 0.5, 0.5, 0.5])) == 0.5
+
+    def test_roc_auc_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        labels=st.lists(st.sampled_from([0, 1]), min_size=4, max_size=40),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_roc_auc_matches_pairwise_bruteforce(self, labels, seed):
+        labels = np.array(labels)
+        if labels.sum() == 0 or labels.sum() == len(labels):
+            return
+        scores = np.random.default_rng(seed).normal(size=len(labels))
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        brute = np.mean([(p > n) + 0.5 * (p == n) for p in pos for n in neg])
+        assert roc_auc_score(labels, scores) == pytest.approx(brute, abs=1e-9)
+
+    def test_average_precision_perfect_ranking(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_score = np.array([0.9, 0.8, 0.2, 0.1])
+        assert average_precision_score(y_true, y_score) == pytest.approx(1.0)
+
+    def test_average_precision_known_value(self):
+        # ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2
+        y_true = np.array([1, 0, 1])
+        y_score = np.array([0.9, 0.5, 0.1])
+        assert average_precision_score(y_true, y_score) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_precision_at_k_defaults_to_num_positives(self):
+        y_true = np.array([1, 0, 1, 0, 0])
+        y_score = np.array([0.9, 0.8, 0.7, 0.2, 0.1])
+        assert precision_at_k(y_true, y_score) == pytest.approx(0.5)
+        assert precision_at_k(y_true, y_score, k=1) == 1.0
+
+    def test_classification_report_bundle(self):
+        report = classification_report(np.array([0, 1, 1]), np.array([0, 1, 0]))
+        assert report.accuracy == pytest.approx(2 / 3)
+        assert set(report.as_dict()) == {"accuracy", "precision", "recall", "f1"}
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([1]), np.array([1, 0]))
+
+
+def _quadratic_problem(seed=0):
+    """A tiny least-squares problem every optimizer should solve."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(64, 3)).astype(np.float32)
+    true_w = np.array([[1.5, -2.0, 0.5]], dtype=np.float32)
+    y = x @ true_w.T
+    return x, y, true_w
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls,lr", [(SGD, 0.1), (Adam, 0.05), (AdamW, 0.05)])
+    def test_optimizers_fit_linear_regression(self, optimizer_cls, lr):
+        x, y, true_w = _quadratic_problem()
+        layer = Linear(3, 1, bias=False, rng=0)
+        optimizer = optimizer_cls(list(layer.parameters()), lr=lr)
+        for _ in range(200):
+            pred = layer(Tensor(x))
+            loss = F.mse_loss(pred, y)
+            layer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+    def test_frozen_parameters_not_updated(self):
+        layer = Linear(3, 1, rng=0)
+        layer.weight.requires_grad = False
+        before = layer.weight.data.copy()
+        optimizer = Adam(list(layer.parameters()), lr=0.1)
+        loss = F.mse_loss(layer(Tensor(np.ones((4, 3), dtype=np.float32))), np.zeros((4, 1)))
+        loss.backward()
+        optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, before)
+
+    def test_sgd_momentum_and_weight_decay(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = SGD([p], lr=0.1, momentum=0.9, weight_decay=0.1)
+        p.grad = np.array([1.0], dtype=np.float32)
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_hyperparameters(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.ones(2)
+        Adam([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return Adam([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        sched = ConstantSchedule(self._optimizer())
+        assert sched.step() == 1.0
+
+    def test_linear_warmup_then_decay(self):
+        optimizer = self._optimizer()
+        sched = LinearWarmupSchedule(optimizer, warmup_steps=5, total_steps=10)
+        warmup = [sched.step() for _ in range(5)]
+        assert warmup == sorted(warmup)
+        assert warmup[-1] == pytest.approx(1.0)
+        decay = [sched.step() for _ in range(5)]
+        assert decay == sorted(decay, reverse=True)
+        assert optimizer.lr == pytest.approx(0.0)
+
+    def test_cosine_decays_to_min(self):
+        optimizer = self._optimizer()
+        sched = CosineSchedule(optimizer, total_steps=10, min_lr=0.1)
+        values = [sched.step() for _ in range(10)]
+        assert values[0] > values[-1]
+        assert values[-1] == pytest.approx(0.1, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(self._optimizer(), warmup_steps=5, total_steps=2)
+        with pytest.raises(ValueError):
+            CosineSchedule(self._optimizer(), total_steps=0)
+
+
+class TestLMLosses:
+    def test_causal_lm_loss_ignores_padding(self):
+        vocab, seq = 7, 5
+        logits = Tensor(np.zeros((2, seq, vocab), dtype=np.float32), requires_grad=True)
+        ids = np.ones((2, seq), dtype=np.int64)
+        mask = np.ones((2, seq), dtype=bool)
+        mask[1, 3:] = False
+        loss = causal_lm_loss(logits, ids, mask)
+        assert loss.data == pytest.approx(np.log(vocab), rel=1e-4)
+
+    def test_completion_only_loss_single_position(self):
+        vocab, seq = 5, 4
+        logits_data = np.zeros((1, seq, vocab), dtype=np.float32)
+        logits_data[0, 2, 3] = 10.0  # position 2 predicts token at position 3
+        logits = Tensor(logits_data, requires_grad=True)
+        ids = np.array([[0, 1, 2, 3]], dtype=np.int64)
+        answer_mask = np.array([[False, False, False, True]])
+        loss = completion_only_loss(logits, ids, answer_mask)
+        assert float(loss.data) < 0.01
+
+    def test_completion_only_loss_validation(self):
+        logits = Tensor(np.zeros((1, 3, 4), dtype=np.float32))
+        ids = np.zeros((1, 3), dtype=np.int64)
+        with pytest.raises(ValueError):
+            completion_only_loss(logits, ids, np.zeros((1, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            completion_only_loss(logits, ids, np.zeros((2, 3), dtype=bool))

@@ -1,0 +1,184 @@
+"""Tests for the nn module system, layers, attention and transformer blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.transformer import SinusoidalPositionalEncoding
+from repro.tensor import Tensor
+
+
+class TestModuleSystem:
+    def test_named_parameters_are_hierarchical(self):
+        layer = nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+        names = [n for n, _ in layer.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_num_parameters_counts(self):
+        linear = nn.Linear(10, 5, rng=0)
+        assert linear.num_parameters() == 10 * 5 + 5
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Linear(6, 3, rng=0)
+        b = nn.Linear(6, 3, rng=1)
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        a = nn.Linear(6, 3, rng=0)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_strict_missing_key(self):
+        a = nn.Linear(6, 3, rng=0)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})
+
+    def test_freeze_unfreeze(self):
+        model = nn.Sequential(nn.Linear(4, 4, rng=0), nn.Linear(4, 2, rng=1))
+        frozen = model.freeze()
+        assert frozen == 4
+        assert all(not p.requires_grad for p in model.parameters())
+        model.unfreeze(lambda name, p: name.startswith("1."))
+        trainable = [n for n, p in model.named_parameters() if p.requires_grad]
+        assert trainable == ["1.weight", "1.bias"]
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5, rng=0), nn.Linear(3, 3, rng=0))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_module_list(self):
+        items = nn.ModuleList([nn.Linear(2, 2, rng=i) for i in range(3)])
+        assert len(items) == 3
+        assert isinstance(items[1], nn.Linear)
+        with pytest.raises(RuntimeError):
+            items(Tensor(np.zeros((1, 2), dtype=np.float32)))
+
+
+class TestLayers:
+    def test_linear_shapes_and_validation(self):
+        layer = nn.Linear(5, 7, rng=0)
+        out = layer(Tensor(np.zeros((3, 5), dtype=np.float32)))
+        assert out.shape == (3, 7)
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(5, 7, bias=False, rng=0)
+        assert layer.bias is None
+        assert layer.num_parameters() == 35
+
+    def test_embedding_lookup_and_range_check(self):
+        emb = nn.Embedding(10, 4, rng=0)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+    def test_embedding_padding_idx_zero(self):
+        emb = nn.Embedding(10, 4, rng=0, padding_idx=0)
+        np.testing.assert_allclose(emb.weight.data[0], np.zeros(4))
+
+    def test_layernorm_learnable_affine(self):
+        ln = nn.LayerNorm(8)
+        out = ln(Tensor(np.random.default_rng(0).normal(size=(2, 8)).astype(np.float32)))
+        assert out.shape == (2, 8)
+        assert ln.num_parameters() == 16
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([-1.0, 1.0], dtype=np.float32))
+        assert nn.ReLU()(x).data.tolist() == [0.0, 1.0]
+        assert nn.Tanh()(x).data[1] == pytest.approx(np.tanh(1.0), rel=1e-5)
+        assert nn.GELU()(x).data[1] == pytest.approx(0.841, abs=0.01)
+
+
+class TestAttention:
+    def test_output_shape_and_mask_handling(self):
+        attn = nn.MultiHeadAttention(hidden_size=16, num_heads=4, dropout=0.0, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)).astype(np.float32))
+        mask = np.ones((2, 5), dtype=bool)
+        mask[1, 3:] = False
+        out = attn(x, mask)
+        assert out.shape == (2, 5, 16)
+
+    def test_invalid_head_count(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(hidden_size=10, num_heads=3)
+
+    def test_wrong_mask_shape_raises(self):
+        attn = nn.MultiHeadAttention(hidden_size=8, num_heads=2, rng=0)
+        x = Tensor(np.zeros((1, 4, 8), dtype=np.float32))
+        with pytest.raises(ValueError):
+            attn(x, np.ones((2, 4), dtype=bool))
+
+    def test_causal_attention_ignores_future_tokens(self):
+        """Changing a future token must not change earlier positions' outputs."""
+        attn = nn.MultiHeadAttention(hidden_size=8, num_heads=2, dropout=0.0, causal=True, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        modified = base.copy()
+        modified[0, 5, :] += 10.0
+        out_base = attn(Tensor(base)).data
+        out_mod = attn(Tensor(modified)).data
+        np.testing.assert_allclose(out_base[0, :5], out_mod[0, :5], atol=1e-5)
+        assert not np.allclose(out_base[0, 5], out_mod[0, 5])
+
+    def test_padding_mask_blocks_information_flow(self):
+        attn = nn.MultiHeadAttention(hidden_size=8, num_heads=2, dropout=0.0, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        modified = base.copy()
+        modified[0, 3, :] += 5.0
+        mask = np.array([[True, True, True, False]])
+        out_base = attn(Tensor(base), mask).data
+        out_mod = attn(Tensor(modified), mask).data
+        np.testing.assert_allclose(out_base[0, :3], out_mod[0, :3], atol=1e-5)
+
+
+class TestTransformerBlocks:
+    def test_encoder_layer_shape(self):
+        layer = nn.TransformerEncoderLayer(16, 4, 32, dropout=0.0, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 7, 16)).astype(np.float32))
+        assert layer(x).shape == (2, 7, 16)
+
+    def test_encoder_stack_and_shared_layers_param_counts(self):
+        independent = nn.TransformerEncoder(3, 16, 4, 32, share_layers=False, rng=0)
+        shared = nn.TransformerEncoder(3, 16, 4, 32, share_layers=True, rng=0)
+        assert shared.num_parameters() < independent.num_parameters()
+        x = Tensor(np.zeros((1, 4, 16), dtype=np.float32))
+        assert shared(x).shape == (1, 4, 16)
+        assert independent(x).shape == (1, 4, 16)
+
+    def test_decoder_stack_shape(self):
+        decoder = nn.TransformerDecoder(2, 16, 4, 32, dropout=0.0, rng=0)
+        x = Tensor(np.zeros((2, 5, 16), dtype=np.float32))
+        assert decoder(x).shape == (2, 5, 16)
+
+    def test_positional_embedding_bounds(self):
+        pos = nn.PositionalEmbedding(8, 16, rng=0)
+        assert pos(5, 2).shape == (2, 5, 16)
+        with pytest.raises(ValueError):
+            pos(9, 1)
+
+    def test_sinusoidal_encoding_is_deterministic_and_scaled(self):
+        enc = SinusoidalPositionalEncoding(32, 16, scale=0.02)
+        a = enc(10, 1).data
+        b = enc(10, 1).data
+        np.testing.assert_allclose(a, b)
+        assert np.abs(a).max() <= 0.02 + 1e-6
+        with pytest.raises(ValueError):
+            enc(64, 1)

@@ -1,0 +1,208 @@
+"""Tests for templates, numeric binning, vocabulary and the log tokenizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tokenization import (
+    FEATURE_ORDER,
+    JobRecord,
+    LogTokenizer,
+    NumericBinner,
+    Vocabulary,
+    record_to_sentence,
+    sentence_to_record,
+    streaming_prefixes,
+)
+from repro.tokenization.tokenizer import PROMPT_TOKENS
+
+
+def make_record(label=0):
+    features = {name: float(i + 1) * 10.0 for i, name in enumerate(FEATURE_ORDER)}
+    return JobRecord(features=features, label=label)
+
+
+class TestTemplates:
+    def test_sentence_matches_paper_format(self):
+        record = JobRecord(features={"wms_delay": 6.0, "queue_delay": 22.0}, label=0)
+        assert record_to_sentence(record) == "wms_delay is 6.0 queue_delay is 22.0"
+        assert record_to_sentence(record, include_label=True).endswith(", Normal")
+
+    def test_anomalous_label_verbalisation(self):
+        record = make_record(label=1)
+        assert record_to_sentence(record, include_label=True).endswith(", Abnormal")
+
+    def test_include_label_requires_label(self):
+        with pytest.raises(ValueError):
+            record_to_sentence(JobRecord(features={"runtime": 1.0}), include_label=True)
+
+    def test_roundtrip_sentence_to_record(self):
+        record = make_record(label=1)
+        sentence = record_to_sentence(record, include_label=True)
+        parsed = sentence_to_record(sentence)
+        assert parsed.label == 1
+        assert parsed.features == pytest.approx(record.features)
+
+    def test_sentence_to_record_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            sentence_to_record("runtime equals 5.0")
+
+    def test_streaming_prefixes_grow_one_feature_at_a_time(self):
+        record = make_record()
+        prefixes = list(streaming_prefixes(record))
+        assert len(prefixes) == len(FEATURE_ORDER)
+        assert prefixes[0][1].startswith("wms_delay is")
+        for (k, sentence), name in zip(prefixes, FEATURE_ORDER):
+            assert sentence.count(" is ") == k
+
+    def test_num_features_truncation(self):
+        record = make_record()
+        sentence = record_to_sentence(record, num_features=3)
+        assert sentence.count(" is ") == 3
+
+    def test_feature_vector_orders_and_nans(self):
+        record = JobRecord(features={"runtime": 5.0})
+        vec = record.feature_vector()
+        assert vec[FEATURE_ORDER.index("runtime")] == 5.0
+        assert np.isnan(vec[0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=9, max_size=9
+        ),
+        label=st.sampled_from([0, 1]),
+    )
+    def test_roundtrip_property(self, values, label):
+        features = {name: round(float(v), 1) for name, v in zip(FEATURE_ORDER, values)}
+        record = JobRecord(features=features, label=label)
+        parsed = sentence_to_record(record_to_sentence(record, include_label=True))
+        assert parsed.label == label
+        for name in FEATURE_ORDER:
+            assert parsed.features[name] == pytest.approx(features[name], rel=1e-6)
+
+
+class TestNumericBinner:
+    def test_special_values(self):
+        binner = NumericBinner()
+        assert binner.bin(0.0) == "<num|zero>"
+        assert binner.bin(float("nan")) == "<num|nan>"
+
+    def test_sign_and_magnitude_encoded(self):
+        binner = NumericBinner()
+        assert binner.bin(250.0).startswith("<num|+e2")
+        assert binner.bin(-250.0).startswith("<num|-e2")
+
+    def test_monotone_in_magnitude(self):
+        """Larger magnitudes never map to a strictly smaller (exponent, bin)."""
+        binner = NumericBinner()
+
+        def key(value):
+            token = binner.bin(value)
+            exponent = int(token.split("|")[1][1:].replace("e", ""))
+            sub = int(token.split("b")[-1].rstrip(">"))
+            return exponent, sub
+
+        values = [1.0, 2.0, 5.0, 10.0, 99.0, 1e3, 5e6]
+        keys = [key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_all_tokens_cover_emitted_tokens(self):
+        binner = NumericBinner()
+        universe = set(binner.all_tokens())
+        rng = np.random.default_rng(0)
+        for value in rng.lognormal(3, 4, size=200):
+            assert binner.bin(float(value)) in universe
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(min_value=1e-3, max_value=1e12, allow_nan=False))
+    def test_binning_is_deterministic(self, value):
+        binner = NumericBinner()
+        assert binner.bin(value) == binner.bin(value)
+
+
+class TestVocabulary:
+    def test_special_tokens_present_and_stable(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert len(vocab) == 7
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["alpha"])
+        assert vocab.token_to_id("beta") == vocab.unk_id
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        ids = vocab.encode(["a", "c", "b"])
+        assert vocab.decode(ids) == ["a", "c", "b"]
+
+    def test_build_respects_frequency_and_size(self):
+        streams = [["x", "x", "y"], ["x", "z"]]
+        vocab = Vocabulary.build(streams, min_frequency=2)
+        assert "x" in vocab and "y" not in vocab
+        capped = Vocabulary.build(streams, max_size=1)
+        assert "x" in capped and "z" not in capped
+
+    def test_id_to_token_bounds(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(IndexError):
+            vocab.id_to_token(999)
+
+
+class TestLogTokenizer:
+    @pytest.fixture()
+    def tok(self):
+        sentences = [record_to_sentence(make_record()) for _ in range(3)]
+        return LogTokenizer.build_from_corpus(sentences)
+
+    def test_numbers_become_bin_tokens(self, tok):
+        pieces = tok.tokenize("runtime is 2090.0")
+        assert pieces[0] == "runtime"
+        assert pieces[2].startswith("<num|")
+
+    def test_prompt_tokens_always_in_vocab(self, tok):
+        for word in ("normal", "abnormal", "category", "instruct"):
+            assert word in tok.vocab
+        assert set(PROMPT_TOKENS).issubset(set(tok.vocab.tokens()))
+
+    def test_classification_encoding_shape_and_mask(self, tok):
+        ids, mask = tok.encode_classification("runtime is 10.0", max_length=16)
+        assert ids.shape == (16,) and mask.shape == (16,)
+        assert ids[0] == tok.vocab.cls_id
+        assert mask.sum() == 5  # CLS + 3 pieces + SEP
+        assert ids[mask.sum() - 1] == tok.vocab.sep_id
+
+    def test_classification_truncates_to_max_length(self, tok):
+        long_sentence = record_to_sentence(make_record())
+        ids, mask = tok.encode_classification(long_sentence, max_length=8)
+        assert mask.sum() == 8
+
+    def test_classification_min_length_validation(self, tok):
+        with pytest.raises(ValueError):
+            tok.encode_classification("runtime is 1.0", max_length=1)
+
+    def test_batch_classification_stacks(self, tok):
+        ids, mask = tok.encode_batch_classification(["runtime is 1.0", "runtime is 2.0"], max_length=12)
+        assert ids.shape == (2, 12) and mask.dtype == bool
+
+    def test_causal_encoding_has_bos(self, tok):
+        ids = tok.encode_causal("runtime is 10.0")
+        assert ids[0] == tok.vocab.bos_id
+
+    def test_batch_causal_right_pads(self, tok):
+        ids, mask = tok.encode_batch_causal(["runtime is 1.0", "runtime is 1.0 cpu_time is 2.0"])
+        assert ids.shape == mask.shape
+        assert mask[0].sum() < mask[1].sum()
+        assert ids[0, mask[0].sum():].tolist() == [tok.vocab.pad_id] * (ids.shape[1] - mask[0].sum())
+
+    def test_decode_skips_special_tokens(self, tok):
+        ids, _ = tok.encode_classification("runtime is 10.0", max_length=12)
+        text = tok.decode(ids)
+        assert "[CLS]" not in text and "runtime" in text
+
+    def test_unseen_magnitudes_never_unk(self, tok):
+        ids = tok.encode_causal("runtime is 123456789.0", add_bos=False)
+        assert tok.vocab.unk_id not in ids

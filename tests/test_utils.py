@@ -1,0 +1,90 @@
+"""Tests for the utility helpers (rng, timing, io) and the top-level package API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.utils import Timer, load_json, load_npz, new_rng, save_json, save_npz, spawn_rngs, timed
+from repro.utils.rng import RngMixin
+
+
+class TestRng:
+    def test_new_rng_accepts_seed_generator_none(self):
+        assert isinstance(new_rng(0), np.random.Generator)
+        gen = np.random.default_rng(1)
+        assert new_rng(gen) is gen
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert new_rng(7).integers(0, 100, 5).tolist() == new_rng(7).integers(0, 100, 5).tolist()
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(0, 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 1_000_000) for c in children]
+        assert len(set(draws)) == 3
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_rng_mixin(self):
+        class Thing(RngMixin):
+            def __init__(self):
+                self._init_rng(0)
+
+        thing = Thing()
+        sample = thing.choice_without_replacement(range(10), 4)
+        assert len(set(sample)) == 4
+        with pytest.raises(ValueError):
+            thing.choice_without_replacement(range(3), 5)
+        thing.reseed(1)
+        assert isinstance(thing.rng, np.random.Generator)
+
+
+class TestTimingAndIO:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            sum(range(100))
+        with timer.measure():
+            sum(range(100))
+        assert timer.count == 2 and timer.total >= 0 and timer.mean >= 0
+        timer.reset()
+        assert timer.count == 0 and timer.laps == []
+
+    def test_timed_wrapper(self):
+        result, elapsed = timed(lambda a, b: a + b)(2, 3)
+        assert result == 5 and elapsed >= 0
+
+    def test_json_roundtrip_with_numpy_types(self, tmp_path):
+        payload = {"a": np.int64(3), "b": np.float32(0.5), "c": np.arange(3)}
+        path = save_json(tmp_path / "sub" / "x.json", payload)
+        loaded = load_json(path)
+        assert loaded["a"] == 3 and loaded["c"] == [0, 1, 2]
+
+    def test_json_rejects_unserialisable(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(tmp_path / "x.json", {"f": object()})
+
+    def test_npz_roundtrip(self, tmp_path):
+        arrays = {"w": np.random.default_rng(0).normal(size=(3, 2))}
+        path = save_npz(tmp_path / "weights.npz", arrays)
+        loaded = load_npz(path)
+        np.testing.assert_allclose(loaded["w"], arrays["w"])
+
+
+class TestPackageAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__ == "1.0.0"
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_model_state_roundtrip_through_npz(self, registry, tmp_path):
+        """End-to-end persistence: save a model's weights and reload them."""
+        model = registry.load_encoder("albert-base-v2")
+        path = save_npz(tmp_path / "model.npz", model.state_dict())
+        clone = registry.load_encoder("albert-base-v2", pretrained=False)
+        clone.load_state_dict(load_npz(path))
+        ids = np.zeros((1, 6), dtype=np.int64)
+        np.testing.assert_allclose(model.predict_proba(ids), clone.predict_proba(ids), atol=1e-6)
