@@ -1,0 +1,249 @@
+"""Micro-benchmark harness for the incremental-inference subsystem.
+
+Measures, for the decoder-LM stack that powers every ICL experiment
+(Tables III/IV, Figs 12-14):
+
+* ``generate`` throughput (tokens/sec), KV-cached vs. full-recompute;
+* ``ICLEngine.evaluate`` throughput (queries/sec) with a shared few-shot
+  example block, prefix-cached batched scoring vs. the per-query loop;
+* numerical equivalence of the two paths (cached and uncached logits must
+  agree to float32 tolerance, rtol 1e-5).
+
+Results are written to ``BENCH_inference.json`` at the repository root so the
+performance trajectory is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --smoke --check
+        # exit non-zero if cached inference is slower than uncached or the
+        # cached/uncached logits disagree (the CI perf gate)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.flowbench import generate_dataset  # noqa: E402
+from repro.icl import FewShotSelector, ICLEngine  # noqa: E402
+from repro.models.config import get_config  # noqa: E402
+from repro.models.decoder import DecoderLM  # noqa: E402
+from repro.tensor import no_grad  # noqa: E402
+from repro.tokenization import LogTokenizer  # noqa: E402
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock over ``repeats`` calls (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_generate(model: DecoderLM, prompt: np.ndarray, new_tokens: int, repeats: int) -> dict:
+    """Tokens/sec of cached vs uncached autoregressive decoding."""
+    out_cached = model.generate(prompt, max_new_tokens=new_tokens, use_cache=True)
+    out_uncached = model.generate(prompt, max_new_tokens=new_tokens, use_cache=False)
+    t_cached = _best_of(
+        lambda: model.generate(prompt, max_new_tokens=new_tokens, use_cache=True), repeats
+    )
+    t_uncached = _best_of(
+        lambda: model.generate(prompt, max_new_tokens=new_tokens, use_cache=False), repeats
+    )
+    generated = len(out_cached) - len(prompt)
+    return {
+        "prompt_tokens": int(len(prompt)),
+        "new_tokens": int(generated),
+        "total_sequence": int(len(out_cached)),
+        "cached_seconds": t_cached,
+        "uncached_seconds": t_uncached,
+        "cached_tokens_per_sec": generated / t_cached,
+        "uncached_tokens_per_sec": generated / t_uncached,
+        "speedup": t_uncached / t_cached,
+        "tokens_match": bool(np.array_equal(out_cached, out_uncached)),
+    }
+
+
+def bench_logits_equivalence(model: DecoderLM, ids: np.ndarray, rtol: float = 1e-5) -> dict:
+    """Full forward vs. chunked incremental forward over the same tokens."""
+    with no_grad():
+        full = model.forward(ids[None, :]).data[0]
+        cache = model.make_cache(1, len(ids))
+        parts = []
+        pos = 0
+        rng = np.random.default_rng(0)
+        while pos < len(ids):
+            step = int(min(rng.integers(1, 8), len(ids) - pos))
+            parts.append(model.forward_incremental(ids[None, pos : pos + step], cache).data[0])
+            pos += step
+        incremental = np.concatenate(parts, axis=0)
+    max_abs_diff = float(np.abs(full - incremental).max())
+    return {
+        "sequence_length": int(len(ids)),
+        "max_abs_diff": max_abs_diff,
+        "allclose": bool(np.allclose(full, incremental, rtol=rtol, atol=1e-5)),
+        "rtol": rtol,
+    }
+
+
+def bench_icl_evaluate(
+    engine_cached: ICLEngine,
+    engine_uncached: ICLEngine,
+    queries,
+    labels,
+    selector_factory,
+    num_examples: int,
+    repeats: int,
+) -> dict:
+    """Queries/sec of shared-few-shot evaluate, cached vs per-query loop."""
+    preds_cached = engine_cached.classify_batch(
+        queries, selector=selector_factory(), num_examples=num_examples
+    )
+    preds_uncached = engine_uncached.classify_batch(
+        queries, selector=selector_factory(), num_examples=num_examples
+    )
+    score_diff = max(
+        max(
+            abs(a.log_prob_normal - b.log_prob_normal),
+            abs(a.log_prob_abnormal - b.log_prob_abnormal),
+        )
+        for a, b in zip(preds_cached, preds_uncached)
+    )
+    t_cached = _best_of(
+        lambda: engine_cached.evaluate(
+            queries, labels, selector=selector_factory(), num_examples=num_examples
+        ),
+        repeats,
+    )
+    t_uncached = _best_of(
+        lambda: engine_uncached.evaluate(
+            queries, labels, selector=selector_factory(), num_examples=num_examples
+        ),
+        repeats,
+    )
+    return {
+        "num_queries": int(len(queries)),
+        "num_examples": int(num_examples),
+        "cached_seconds": t_cached,
+        "uncached_seconds": t_uncached,
+        "cached_queries_per_sec": len(queries) / t_cached,
+        "uncached_queries_per_sec": len(queries) / t_uncached,
+        "speedup": t_uncached / t_cached,
+        "labels_match": [p.label for p in preds_cached] == [p.label for p in preds_uncached],
+        "max_score_diff": float(score_diff),
+    }
+
+
+def run(smoke: bool, seed: int) -> dict:
+    scale = "smoke" if smoke else "full"
+    num_traces = 2 if smoke else 4
+    new_tokens = 56 if smoke else 240
+    num_queries = 12 if smoke else 32
+    num_examples = 4 if smoke else 8
+    repeats = 2 if smoke else 3
+
+    dataset = generate_dataset("1000genome", num_traces=num_traces, seed=seed)
+    tokenizer = LogTokenizer.build_from_corpus(dataset.train.sentences())
+    # Random (un-pretrained) weights: throughput and numerical equivalence do
+    # not depend on training, and skipping pre-training keeps the harness fast.
+    model = DecoderLM(get_config("gpt2"), tokenizer.vocab_size, rng=seed)
+    model.eval()
+
+    prompt = tokenizer.encode_causal(dataset.train.sentences()[0])[:8]
+    results: dict = {
+        "scale": scale,
+        "model": model.config.name,
+        "vocab_size": tokenizer.vocab_size,
+        "generate": bench_generate(model, prompt, new_tokens, repeats),
+        "logits_equivalence": bench_logits_equivalence(
+            model,
+            tokenizer.encode_causal(" ".join(dataset.train.sentences()[:4]))[
+                : (64 if smoke else 200)
+            ],
+        ),
+    }
+
+    engine_cached = ICLEngine(model, tokenizer)
+    engine_uncached = ICLEngine(model, tokenizer, use_cache=False)
+    test = dataset.test.subsample(num_queries, rng=seed)
+    pool = dataset.train.records[:200]
+    results["icl_evaluate"] = bench_icl_evaluate(
+        engine_cached,
+        engine_uncached,
+        test.records,
+        test.labels(),
+        lambda: FewShotSelector(pool, mode="mixed", seed=seed),
+        num_examples,
+        repeats,
+    )
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if cached is slower than uncached or logits diverge",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_inference.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    results = run(smoke=args.smoke, seed=args.seed)
+    results["targets"] = {
+        "generate_speedup": 3.0,
+        "icl_evaluate_speedup": 1.5,
+        "logits_rtol": 1e-5,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+
+    gen, icl, eq = results["generate"], results["icl_evaluate"], results["logits_equivalence"]
+    print(f"[{results['scale']}] generate: {gen['cached_tokens_per_sec']:.1f} tok/s cached "
+          f"vs {gen['uncached_tokens_per_sec']:.1f} tok/s uncached "
+          f"({gen['speedup']:.2f}x, tokens_match={gen['tokens_match']})")
+    print(f"[{results['scale']}] icl_evaluate: {icl['cached_queries_per_sec']:.1f} q/s cached "
+          f"vs {icl['uncached_queries_per_sec']:.1f} q/s uncached "
+          f"({icl['speedup']:.2f}x, labels_match={icl['labels_match']})")
+    print(f"[{results['scale']}] logits max_abs_diff={eq['max_abs_diff']:.2e} "
+          f"allclose={eq['allclose']}")
+    print(f"report written to {args.output}")
+
+    if args.check:
+        failures = []
+        if gen["speedup"] < 1.0:
+            failures.append("cached generate is slower than uncached")
+        if icl["speedup"] < 1.0:
+            failures.append("cached ICL evaluate is slower than uncached")
+        if not gen["tokens_match"]:
+            failures.append("cached generate produced different tokens")
+        if not icl["labels_match"]:
+            failures.append("cached ICL scoring produced different labels")
+        if not eq["allclose"]:
+            failures.append("cached and uncached logits diverge beyond tolerance")
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,9 @@
 A fine-tuned SFT model re-classifies each job every time a new log field
 arrives, so performance anomalies can be flagged before the job finishes.
 The script also reports the early-detection histogram: at which feature each
-test job was first classified correctly.
+test job was first classified correctly — and repeats the streaming view
+with the prompted (ICL) detector, whose prefix KV cache means each
+re-classification only pays for the newly arrived feature tokens.
 
 Run:  python examples/online_streaming_detection.py
 """
@@ -12,6 +14,8 @@ Run:  python examples/online_streaming_detection.py
 from __future__ import annotations
 
 from repro import WorkflowAnomalyDetector, generate_dataset
+from repro.detection import ICLStreamingDetector
+from repro.icl import ICLEngine
 from repro.models import default_registry
 
 
@@ -40,6 +44,16 @@ def main() -> None:
     print(f"  {'never detected':<18s} {stats.never_detected:>4d}")
     print(f"\n{100 * stats.fraction_detected_by('runtime'):.1f}% of jobs are classified "
           "correctly by the time the runtime is known.")
+
+    # --- The same stream, classified by a prompted decoder LM --------------
+    # Each step's prompt extends the previous one, so the detector's prefix
+    # KV cache only forwards the newly arrived feature tokens.
+    engine = ICLEngine(registry.load_decoder("gpt2").eval(), registry.tokenizer)
+    icl_detector = ICLStreamingDetector(engine)
+    print(f"\nICL (zero-shot, prefix-cached) stream of job {anomalous_job.job_name}:")
+    for prediction in icl_detector.stream(anomalous_job):
+        print(f"T{prediction.step}: +{prediction.latest_feature} "
+              f"==> {prediction.label_name} (score {prediction.score:.4f})")
 
 
 if __name__ == "__main__":

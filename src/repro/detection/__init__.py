@@ -7,12 +7,19 @@ sentences, call ``fit``, then ``predict`` on new logs — or feed it a stream
 of partially observed jobs for real-time detection (Fig. 7 / Fig. 8).
 """
 
-from repro.detection.online import OnlineDetector, StreamingPrediction
+from repro.detection.online import (
+    ICLStreamingDetector,
+    OnlineDetector,
+    StreamingDetectorBase,
+    StreamingPrediction,
+)
 from repro.detection.early import EarlyDetectionStats, early_detection_statistics
 from repro.detection.pipeline import WorkflowAnomalyDetector
 
 __all__ = [
+    "ICLStreamingDetector",
     "OnlineDetector",
+    "StreamingDetectorBase",
     "StreamingPrediction",
     "EarlyDetectionStats",
     "early_detection_statistics",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.detection.online import OnlineDetector
+from repro.detection.online import StreamingDetectorBase
 from repro.tokenization.templates import FEATURE_ORDER, JobRecord
 
 __all__ = ["EarlyDetectionStats", "early_detection_statistics"]
@@ -48,11 +48,15 @@ class EarlyDetectionStats:
 
 
 def early_detection_statistics(
-    detector: OnlineDetector,
+    detector: StreamingDetectorBase,
     records: Sequence[JobRecord],
     feature_order: tuple[str, ...] = FEATURE_ORDER,
 ) -> EarlyDetectionStats:
-    """Compute the Fig. 8 histogram over a set of labeled records."""
+    """Compute the Fig. 8 histogram over a set of labeled records.
+
+    Works with any streaming detector — the SFT-based :class:`OnlineDetector`
+    or the prefix-cached :class:`~repro.detection.online.ICLStreamingDetector`.
+    """
     stats = EarlyDetectionStats(feature_order=feature_order, total_jobs=len(records))
     for record in records:
         step = detector.first_correct_step(record)

@@ -5,6 +5,17 @@ workflow-management-system delay, then the queue delay, then the runtime,
 and so on).  The online detector re-classifies the job every time a new
 feature becomes available, so an anomaly can be flagged before the job has
 even finished staging its outputs.
+
+Two detector families share the streaming interface:
+
+* :class:`OnlineDetector` — the paper's fine-tuned SFT (encoder) classifier
+  applied to growing sentence prefixes.
+* :class:`ICLStreamingDetector` — a prompted decoder LM.  Because each
+  step's prompt literally extends the previous step's prompt (one more
+  feature appended to the job sentence), the detector keeps a
+  :class:`~repro.models.decoder.PrefixCachedScorer`: every re-classification
+  only forwards the newly arrived feature tokens plus the short template
+  tail against the cached keys/values of everything already seen.
 """
 
 from __future__ import annotations
@@ -14,10 +25,17 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.icl.engine import ICLEngine
+from repro.models.decoder import PrefixCachedScorer
 from repro.tokenization.templates import FEATURE_ORDER, JobRecord, record_to_sentence
 from repro.training.trainer import SFTTrainer
 
-__all__ = ["StreamingPrediction", "OnlineDetector"]
+__all__ = [
+    "StreamingPrediction",
+    "StreamingDetectorBase",
+    "OnlineDetector",
+    "ICLStreamingDetector",
+]
 
 
 @dataclass(frozen=True)
@@ -38,7 +56,46 @@ class StreamingPrediction:
         return f"LABEL_{self.label}"
 
 
-class OnlineDetector:
+class StreamingDetectorBase:
+    """Shared logic for streaming detectors: everything on top of ``stream``."""
+
+    feature_order: tuple[str, ...]
+
+    def stream(self, record: JobRecord) -> Iterator[StreamingPrediction]:
+        """Yield one prediction per newly observed feature (in arrival order)."""
+        raise NotImplementedError
+
+    def _available_features(self, record: JobRecord) -> list[str]:
+        available = [name for name in self.feature_order if name in record.features]
+        if not available:
+            raise ValueError("record has no features from the canonical feature order")
+        return available
+
+    def detect(self, record: JobRecord, threshold: float = 0.5) -> StreamingPrediction | None:
+        """Return the first streaming prediction that flags the job anomalous.
+
+        ``None`` means the job was never flagged, even with all features seen.
+        """
+        for prediction in self.stream(record):
+            if prediction.label == 1 and prediction.score >= threshold:
+                return prediction
+        return None
+
+    def first_correct_step(self, record: JobRecord) -> int | None:
+        """Index (1-based) of the first prefix whose prediction matches the true label."""
+        if record.label is None:
+            raise ValueError("first_correct_step requires a labeled record")
+        for prediction in self.stream(record):
+            if prediction.label == int(record.label):
+                return prediction.step
+        return None
+
+    def stream_batch(self, records: Sequence[JobRecord]) -> list[list[StreamingPrediction]]:
+        """Stream several jobs (returns one prediction list per job)."""
+        return [list(self.stream(r)) for r in records]
+
+
+class OnlineDetector(StreamingDetectorBase):
     """Classify growing prefixes of a job's features with a fine-tuned SFT model."""
 
     def __init__(self, trainer: SFTTrainer, feature_order: tuple[str, ...] = FEATURE_ORDER) -> None:
@@ -48,9 +105,7 @@ class OnlineDetector:
     # ------------------------------------------------------------------ #
     def stream(self, record: JobRecord) -> Iterator[StreamingPrediction]:
         """Yield one prediction per newly observed feature (in arrival order)."""
-        available = [name for name in self.feature_order if name in record.features]
-        if not available:
-            raise ValueError("record has no features from the canonical feature order")
+        available = self._available_features(record)
         for step, _ in enumerate(available, start=1):
             sentence = record_to_sentence(record, order=self.feature_order, num_features=step)
             proba = self.trainer.predict_proba([sentence])[0]
@@ -64,26 +119,38 @@ class OnlineDetector:
                 score=float(proba[label]),
             )
 
-    def detect(self, record: JobRecord, threshold: float = 0.5) -> StreamingPrediction | None:
-        """Return the first streaming prediction that flags the job anomalous.
 
-        ``None`` means the job was never flagged, even with all features seen.
-        """
-        for prediction in self.stream(record):
-            if prediction.label == 1 and prediction.score >= threshold:
-                return prediction
-        return None
+class ICLStreamingDetector(StreamingDetectorBase):
+    """Streaming re-classification with a prompted decoder LM and prefix cache.
+
+    Step ``k`` scores the prompt built from the first ``k`` features of the
+    job.  Step ``k+1``'s prompt shares all of step ``k``'s sentence tokens,
+    so the dedicated prefix-cached scorer recomputes only the new feature
+    and the constant template tail — the transformer forward over the shared
+    history is paid once per job, not once per step.
+    """
+
+    def __init__(self, engine: ICLEngine, feature_order: tuple[str, ...] = FEATURE_ORDER) -> None:
+        self.engine = engine
+        self.feature_order = feature_order
+        self._scorer = PrefixCachedScorer(engine.model)
 
     # ------------------------------------------------------------------ #
-    def first_correct_step(self, record: JobRecord) -> int | None:
-        """Index (1-based) of the first prefix whose prediction matches the true label."""
-        if record.label is None:
-            raise ValueError("first_correct_step requires a labeled record")
-        for prediction in self.stream(record):
-            if prediction.label == int(record.label):
-                return prediction.step
-        return None
-
-    def stream_batch(self, records: Sequence[JobRecord]) -> list[list[StreamingPrediction]]:
-        """Stream several jobs (returns one prediction list per job)."""
-        return [list(self.stream(r)) for r in records]
+    def stream(self, record: JobRecord) -> Iterator[StreamingPrediction]:
+        """Yield one prediction per newly observed feature (in arrival order)."""
+        available = self._available_features(record)
+        for step, _ in enumerate(available, start=1):
+            sentence = record_to_sentence(record, order=self.feature_order, num_features=step)
+            prompt = self.engine.template.build(sentence)
+            prompt_ids = self.engine.tokenizer.encode_causal(prompt)
+            scores = self.engine.score_prompt_ids(prompt_ids, scorer=self._scorer)
+            prediction = self.engine.prediction_from_scores(scores)
+            p_abnormal = prediction.anomaly_score
+            yield StreamingPrediction(
+                step=step,
+                num_features=step,
+                latest_feature=available[step - 1],
+                sentence=sentence,
+                label=prediction.label,
+                score=float(p_abnormal if prediction.label == 1 else 1.0 - p_abnormal),
+            )

@@ -70,6 +70,16 @@ class ChainOfThoughtExplainer:
         self.engine = engine
         self.feature_names = feature_names
         self._means = self._class_means(reference_records)
+        # The CoT-prompted engine is built once and shared across explain()
+        # calls: its prefix-cached scorer then reuses the KV cache of the
+        # constant instruction block (and any shared examples) between
+        # successive queries instead of recomputing it per explanation.
+        self._cot_engine = ICLEngine(
+            engine.model,
+            engine.tokenizer,
+            template=PromptTemplate(chain_of_thought=True),
+            use_cache=engine.use_cache,
+        )
 
     # ------------------------------------------------------------------ #
     def _class_means(self, records: Sequence[JobRecord]) -> dict[int, dict[str, float]]:
@@ -143,11 +153,6 @@ class ChainOfThoughtExplainer:
         )
         # The LM verdict, prompted with the CoT template (no "category only"
         # restriction, explicit step-by-step instruction).
-        cot_engine = ICLEngine(
-            self.engine.model,
-            self.engine.tokenizer,
-            template=PromptTemplate(chain_of_thought=True),
-        )
-        result.prompt = cot_engine.template.build(query, examples)
-        result.model_prediction = cot_engine.classify(query, examples)
+        result.prompt = self._cot_engine.template.build(query, examples)
+        result.model_prediction = self._cot_engine.classify(query, examples)
         return result

@@ -5,6 +5,15 @@ decoded freely, so — like standard LM-classification harnesses — the engine
 *scores* each candidate category as a continuation of the prompt and picks
 the more likely one.  The scores double as anomaly scores for the ranking
 metrics of Table IV (probability mass assigned to "Abnormal").
+
+Scoring is built on the incremental-inference subsystem: both category
+continuations are evaluated off one forward over the shared prompt, the
+few-shot example block shared by every query of a batch is prefilled into a
+KV cache exactly once, and the per-query remainders are scored as one
+right-padded batch instead of a batch-size-1 loop.  ``use_cache=False``
+restores the original recompute-everything behaviour (useful as a reference
+for correctness and performance comparisons — the two paths agree to float32
+tolerance).
 """
 
 from __future__ import annotations
@@ -16,7 +25,8 @@ import numpy as np
 
 from repro.icl.fewshot import FewShotSelector
 from repro.icl.prompts import CATEGORIES, PromptTemplate
-from repro.models.decoder import DecoderLM
+from repro.models.decoder import DecoderLM, PrefixCachedScorer, common_prefix_length
+from repro.tensor import no_grad, functional as F
 from repro.tokenization.templates import JobRecord
 from repro.tokenization.tokenizer import LogTokenizer
 from repro.training.metrics import MetricReport, classification_report
@@ -50,6 +60,9 @@ class ICLEngine:
         model: DecoderLM,
         tokenizer: LogTokenizer,
         template: PromptTemplate | None = None,
+        *,
+        use_cache: bool = True,
+        batch_size: int = 16,
     ) -> None:
         self.model = model
         self.tokenizer = tokenizer
@@ -57,14 +70,22 @@ class ICLEngine:
         # dilutes the scaled-down decoder's attention over the feature tokens
         # (the full paper prompt remains available via a custom template).
         self.template = template or PromptTemplate(include_task_description=False)
+        self.use_cache = use_cache
+        self.batch_size = max(1, int(batch_size))
         # Pre-encode the category continuations once.
         self._category_ids = {
             category: self.tokenizer.encode_causal(category, add_bos=False)
             for category in CATEGORIES
         }
+        self._max_category_len = max(len(ids) for ids in self._category_ids.values())
+        self._scorer = PrefixCachedScorer(model)
 
     # ------------------------------------------------------------------ #
+    def _prompt_fits(self, prompt_ids: np.ndarray) -> bool:
+        return len(prompt_ids) + self._max_category_len <= self.model.config.max_position
+
     def _score_category(self, prompt_ids: np.ndarray, category: str) -> float:
+        """Reference (uncached) scoring path; also handles over-long prompts."""
         continuation = self._category_ids[category]
         sequence = np.concatenate([prompt_ids, continuation])
         max_len = self.model.config.max_position
@@ -76,15 +97,26 @@ class ICLEngine:
         log_prob = self.model.sequence_log_prob(sequence, prefix_length)
         return log_prob / max(len(continuation), 1)
 
-    def classify(
-        self,
-        query: JobRecord | str,
-        examples: Sequence[tuple[JobRecord | str, int]] = (),
-    ) -> ICLPrediction:
-        """Classify one job given in-context examples (empty → zero-shot)."""
-        prompt = self.template.build(query, examples)
-        prompt_ids = self.tokenizer.encode_causal(prompt)
-        scores = {c: self._score_category(prompt_ids, c) for c in CATEGORIES}
+    def score_prompt_ids(
+        self, prompt_ids: np.ndarray, scorer: PrefixCachedScorer | None = None
+    ) -> dict[str, float]:
+        """Per-token log-probability of each category continuing ``prompt_ids``.
+
+        ``scorer`` lets a caller with its own locality pattern (e.g. the
+        streaming detector, whose successive prompts extend one another)
+        bring a dedicated prefix cache instead of sharing the engine's.
+        """
+        if not (self.use_cache and self._prompt_fits(prompt_ids)):
+            return {c: self._score_category(prompt_ids, c) for c in CATEGORIES}
+        candidates = [self._category_ids[c] for c in CATEGORIES]
+        raw = (scorer or self._scorer).score_continuations(prompt_ids, candidates)
+        return {
+            c: raw[i] / max(len(candidates[i]), 1) for i, c in enumerate(CATEGORIES)
+        }
+
+    @staticmethod
+    def prediction_from_scores(scores: dict[str, float]) -> ICLPrediction:
+        """Turn per-category log-prob scores into an :class:`ICLPrediction`."""
         label = int(scores["Abnormal"] > scores["Normal"])
         return ICLPrediction(
             label=label,
@@ -93,7 +125,89 @@ class ICLEngine:
             log_prob_abnormal=scores["Abnormal"],
         )
 
+    def classify(
+        self,
+        query: JobRecord | str,
+        examples: Sequence[tuple[JobRecord | str, int]] = (),
+    ) -> ICLPrediction:
+        """Classify one job given in-context examples (empty → zero-shot)."""
+        prompt = self.template.build(query, examples)
+        prompt_ids = self.tokenizer.encode_causal(prompt)
+        return self.prediction_from_scores(self.score_prompt_ids(prompt_ids))
+
     # ------------------------------------------------------------------ #
+    def _score_prompts_batched(self, prompts: list[np.ndarray]) -> list[dict[str, float]]:
+        """Score every prompt against both categories with shared-prefix batching.
+
+        The longest token prefix common to all prompts (the few-shot example
+        block plus the constant head of the query template) is prefilled into
+        a KV cache once; the per-prompt remainders are then scored in
+        right-padded batches of ``self.batch_size`` rows expanded from that
+        prefix.  Prompts too long for the context window fall back to the
+        truncating reference path.
+        """
+        results: list[dict[str, float] | None] = [None] * len(prompts)
+        fit = [i for i, p in enumerate(prompts) if self._prompt_fits(p)]
+        fit_set = set(fit)
+        for i, p in enumerate(prompts):
+            if i not in fit_set:
+                results[i] = {c: self._score_category(p, c) for c in CATEGORIES}
+        if not fit:
+            return results
+
+        arrays = [prompts[i] for i in fit]
+        common = len(arrays[0])
+        for p in arrays[1:]:
+            common = min(common, common_prefix_length(arrays[0], p))
+        # Keep at least the final prompt token uncached so every row's first
+        # scored position is covered by its own forward.
+        common = min(common, min(len(p) for p in arrays) - 1)
+        categories = [self._category_ids[c] for c in CATEGORIES]
+        single_token = all(len(c) == 1 for c in categories)
+
+        with no_grad():
+            base = self.model.make_cache(1, max(common, 1))
+            if common > 0:
+                self.model.forward_incremental(arrays[0][None, :common], base)
+
+            # One row per prompt when both categories are single tokens (both
+            # scores read off the same last-position distribution); one row
+            # per (prompt, category) otherwise.
+            if single_token:
+                rows = [(i, None, p[common:]) for i, p in zip(fit, arrays)]
+            else:
+                rows = [
+                    (i, c, np.concatenate([p[common:], categories[c][:-1]]))
+                    for i, p in zip(fit, arrays)
+                    for c in range(len(CATEGORIES))
+                ]
+
+            partial: dict[int, dict[str, float]] = {i: {} for i in fit}
+            for start in range(0, len(rows), self.batch_size):
+                chunk = rows[start : start + self.batch_size]
+                longest = max(len(r[2]) for r in chunk)
+                padded = np.zeros((len(chunk), longest), dtype=np.int64)
+                for r, (_, _, tokens) in enumerate(chunk):
+                    padded[r, : len(tokens)] = tokens
+                expanded = base.expand(len(chunk), extra_capacity=longest)
+                logits = self.model.forward_incremental(padded, expanded)
+                log_probs = F.log_softmax(logits, axis=-1).data
+                for r, (i, cat, _) in enumerate(chunk):
+                    prompt_len = len(prompts[i])
+                    last = prompt_len - common - 1
+                    if cat is None:
+                        for c, name in enumerate(CATEGORIES):
+                            token = int(categories[c][0])
+                            partial[i][name] = float(log_probs[r, last, token])
+                    else:
+                        cand = categories[cat]
+                        positions = last + np.arange(len(cand))
+                        total = float(log_probs[r, positions, cand].sum())
+                        partial[i][CATEGORIES[cat]] = total / max(len(cand), 1)
+            for i in fit:
+                results[i] = partial[i]
+        return results
+
     def classify_batch(
         self,
         queries: Sequence[JobRecord | str],
@@ -106,17 +220,26 @@ class ICLEngine:
 
         ``selector`` supplies the in-context examples; with
         ``resample_per_query=False`` (the default, and the cheaper option)
-        one example set is drawn and reused for every query.
+        one example set is drawn and reused for every query — its prompt
+        prefix is then computed once and shared across the whole batch.
         """
+        if selector is not None and num_examples > 0 and resample_per_query:
+            # Per-query example sets: no batch-wide shared block, but the
+            # prefix-cached scorer still reuses whatever head the successive
+            # prompts share (e.g. the task-description block).
+            return [
+                self.classify(query, selector.select(num_examples)) for query in queries
+            ]
         examples: list[tuple[JobRecord, int]] = []
-        if selector is not None and num_examples > 0 and not resample_per_query:
+        if selector is not None and num_examples > 0:
             examples = selector.select(num_examples)
-        predictions = []
-        for query in queries:
-            if selector is not None and num_examples > 0 and resample_per_query:
-                examples = selector.select(num_examples)
-            predictions.append(self.classify(query, examples))
-        return predictions
+        if not self.use_cache:
+            return [self.classify(query, examples) for query in queries]
+        prompts = [
+            self.tokenizer.encode_causal(self.template.build(query, examples))
+            for query in queries
+        ]
+        return [self.prediction_from_scores(scores) for scores in self._score_prompts_batched(prompts)]
 
     def evaluate(
         self,
@@ -143,7 +266,13 @@ class ICLEngine:
         *,
         selector: FewShotSelector | None = None,
         num_examples: int = 0,
+        resample_per_query: bool = False,
     ) -> np.ndarray:
         """P(Abnormal) per query, for ROC-AUC / AP / P@k (Table IV)."""
-        predictions = self.classify_batch(queries, selector=selector, num_examples=num_examples)
+        predictions = self.classify_batch(
+            queries,
+            selector=selector,
+            num_examples=num_examples,
+            resample_per_query=resample_per_query,
+        )
         return np.array([p.anomaly_score for p in predictions], dtype=np.float64)

@@ -19,7 +19,7 @@ from repro.models.config import (
     decoder_model_names,
 )
 from repro.models.encoder import EncoderModel, EncoderForSequenceClassification
-from repro.models.decoder import DecoderLM
+from repro.models.decoder import DecoderLM, PrefixCachedScorer
 from repro.models.lora import LoRALinear, apply_lora, lora_parameter_summary, merge_lora
 from repro.models.quantization import QuantizedLinear, quantize_model
 from repro.models.pretrain import pretrain_encoder_mlm, pretrain_decoder_clm
@@ -36,6 +36,7 @@ __all__ = [
     "EncoderModel",
     "EncoderForSequenceClassification",
     "DecoderLM",
+    "PrefixCachedScorer",
     "LoRALinear",
     "apply_lora",
     "merge_lora",

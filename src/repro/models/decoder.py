@@ -4,19 +4,38 @@ These models power the in-context-learning experiments: a prompt containing
 the task description and a few labeled examples is encoded, the model scores
 (or generates) the category continuation, and — with LoRA + quantization —
 can also be fine-tuned cheaply on the workflow data.
+
+Inference runs *incrementally*: :meth:`DecoderLM.forward_incremental` embeds
+only the new tokens and attends against a :class:`~repro.nn.KVCache`, so
+autoregressive generation costs O(n) forwards of length 1 instead of O(n)
+forwards of growing length, and candidate scoring reuses one shared-prefix
+forward across all candidates (and, via :class:`PrefixCachedScorer`, across
+successive overlapping prompts).  Cached and uncached paths produce the same
+logits to float32 tolerance.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.models.config import ModelConfig
-from repro.nn import Dropout, Embedding, Module, TransformerDecoder
+from repro.nn import Dropout, Embedding, KVCache, Module, TransformerDecoder
 from repro.nn.transformer import SinusoidalPositionalEncoding
 from repro.tensor import Tensor, no_grad, functional as F
 from repro.utils.rng import new_rng, spawn_rngs
 
-__all__ = ["DecoderLM"]
+__all__ = ["DecoderLM", "PrefixCachedScorer", "common_prefix_length"]
+
+
+def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
+    """Length of the longest common prefix of two 1-D token arrays."""
+    n = min(len(a), len(b))
+    if n == 0:
+        return 0
+    diff = np.nonzero(a[:n] != b[:n])[0]
+    return int(diff[0]) if len(diff) else n
 
 
 class DecoderLM(Module):
@@ -31,12 +50,14 @@ class DecoderLM(Module):
         super().__init__()
         if config.kind != "decoder":
             raise ValueError(f"config {config.name!r} is not a decoder config")
-        rngs = spawn_rngs(new_rng(rng), 3)
+        rngs = spawn_rngs(new_rng(rng), 4)
         self.config = config
         self.vocab_size = vocab_size
         self.token_embedding = Embedding(vocab_size, config.hidden_size, rng=rngs[0])
         self.position_embedding = SinusoidalPositionalEncoding(config.max_position, config.hidden_size)
-        self.embedding_dropout = Dropout(config.dropout, rng=rngs[2])
+        # rngs[2] seeds the decoder weights (kept for checkpoint parity with
+        # earlier seeds); the dropout stream must be independent of it.
+        self.embedding_dropout = Dropout(config.dropout, rng=rngs[3])
         self.decoder = TransformerDecoder(
             num_layers=config.num_layers,
             hidden_size=config.hidden_size,
@@ -66,26 +87,80 @@ class DecoderLM(Module):
         return hidden.matmul(self.token_embedding.weight.transpose())
 
     # ------------------------------------------------------------------ #
+    # incremental inference
+    # ------------------------------------------------------------------ #
+    def make_cache(self, batch_size: int = 1, capacity: int | None = None) -> KVCache:
+        """Allocate an empty KV cache sized for this model's context window."""
+        return self.decoder.make_cache(batch_size, capacity or self.config.max_position)
+
+    def forward_incremental(
+        self,
+        input_ids: np.ndarray,
+        cache: KVCache,
+        attention_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Forward only the new tokens against the cached history.
+
+        ``input_ids`` has shape (batch, s) and holds the tokens at global
+        positions ``cache.length .. cache.length + s``; the cache is advanced
+        in place.  ``attention_mask`` (if given) covers the *full* attended
+        length ``cache.length + s``.  Returns next-token logits for the new
+        positions only, shape (batch, s, vocab).
+        """
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim != 2:
+            raise ValueError(f"input_ids must be 2-D (batch, seq), got shape {input_ids.shape}")
+        batch, seq = input_ids.shape
+        past = cache.length
+        if past + seq > self.config.max_position:
+            raise ValueError(
+                f"cached length {past} + new length {seq} exceeds the model's "
+                f"maximum context {self.config.max_position}"
+            )
+        if cache.batch_size != batch:
+            raise ValueError(
+                f"cache batch size {cache.batch_size} does not match input batch {batch}"
+            )
+        hidden = self.token_embedding(input_ids) + self.position_embedding.slice(past, seq, batch)
+        hidden = self.embedding_dropout(hidden)
+        hidden = self.decoder(hidden, attention_mask, cache=cache)
+        return hidden.matmul(self.token_embedding.weight.transpose())
+
+    # ------------------------------------------------------------------ #
     # scoring and generation (inference only)
     # ------------------------------------------------------------------ #
-    def sequence_log_prob(self, input_ids: np.ndarray, prefix_length: int) -> float:
+    def sequence_log_prob(
+        self, input_ids: np.ndarray, prefix_length: int, cache: KVCache | None = None
+    ) -> float:
         """Log-probability of ``input_ids[prefix_length:]`` given the prefix.
 
         Used by the ICL engine to score candidate category continuations
-        ("Normal" vs "Abnormal") after the prompt.
+        ("Normal" vs "Abnormal") after the prompt.  When ``cache`` is given
+        it must hold the keys/values of ``input_ids[:cache.length]``; only
+        the remaining tokens are forwarded (the cache is advanced over the
+        scored sequence in place).
         """
         input_ids = np.asarray(input_ids, dtype=np.int64)
         if input_ids.ndim != 1:
             raise ValueError("sequence_log_prob expects a 1-D token sequence")
         if not 0 < prefix_length < len(input_ids):
             raise ValueError("prefix_length must leave at least one continuation token")
-        with no_grad():
-            logits = self.forward(input_ids[None, :])
-            log_probs = F.log_softmax(logits, axis=-1).data[0]
         targets = input_ids[prefix_length:]
-        # logits at position t predict token t+1
-        positions = np.arange(prefix_length - 1, len(input_ids) - 1)
-        return float(log_probs[positions, targets].sum())
+        with no_grad():
+            if cache is None:
+                logits = self.forward(input_ids[None, :])
+                log_probs = F.log_softmax(logits, axis=-1).data[0]
+                # logits at position t predict token t+1
+                positions = np.arange(prefix_length - 1, len(input_ids) - 1)
+                return float(log_probs[positions, targets].sum())
+            # Keep at least the position prefix_length-1 uncached: its logits
+            # score the first continuation token.
+            past = min(cache.length, prefix_length - 1)
+            cache.truncate(past)
+            logits = self.forward_incremental(input_ids[None, past:], cache)
+            log_probs = F.log_softmax(logits, axis=-1).data[0]
+            positions = np.arange(prefix_length - 1, len(input_ids) - 1) - past
+            return float(log_probs[positions, targets].sum())
 
     def next_token_log_probs(self, input_ids: np.ndarray) -> np.ndarray:
         """Log-probabilities of the next token after a 1-D prompt."""
@@ -93,6 +168,73 @@ class DecoderLM(Module):
         with no_grad():
             logits = self.forward(input_ids[None, :])
             return F.log_softmax(logits[:, -1, :], axis=-1).data[0]
+
+    def score_continuations(
+        self,
+        prompt_ids: np.ndarray,
+        candidates: Sequence[np.ndarray],
+        cache: KVCache | None = None,
+    ) -> np.ndarray:
+        """Total log-probability of each candidate continuation of one prompt.
+
+        All candidates are scored off a *single* forward over the shared
+        prompt: the prompt is prefilled once (reusing any overlap already in
+        ``cache``), its last position's log-probabilities score every
+        candidate's first token, and candidates longer than one token are
+        evaluated together as one right-padded batch against the expanded
+        prompt cache.  Right padding is sound under causal masking: padded
+        positions can never influence the scored positions before them.
+
+        ``cache`` (optional, batch 1) must hold keys/values for a prefix of
+        ``prompt_ids``; on return it holds the full prompt, so successive
+        calls with overlapping prompts (see :class:`PrefixCachedScorer`) get
+        incremental prefills.  Returns an array of shape ``(len(candidates),)``.
+        """
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
+        if prompt_ids.ndim != 1 or len(prompt_ids) == 0:
+            raise ValueError("score_continuations expects a non-empty 1-D prompt")
+        if not candidates:
+            return np.zeros(0, dtype=np.float64)
+        cand_arrays = [np.asarray(c, dtype=np.int64).ravel() for c in candidates]
+        if any(len(c) == 0 for c in cand_arrays):
+            raise ValueError("every candidate needs at least one token")
+        max_cand = max(len(c) for c in cand_arrays)
+        if len(prompt_ids) + max_cand > self.config.max_position:
+            raise ValueError(
+                f"prompt ({len(prompt_ids)}) plus longest candidate ({max_cand}) "
+                f"exceeds the maximum context {self.config.max_position}"
+            )
+
+        with no_grad():
+            if cache is None:
+                cache = self.make_cache(1, len(prompt_ids) + max_cand)
+            # Always re-forward the last prompt token so its logits (which
+            # score each candidate's first token) are available.
+            past = min(cache.length, len(prompt_ids) - 1)
+            cache.truncate(past)
+            prefill = self.forward_incremental(prompt_ids[None, past:], cache)
+            first_log_probs = F.log_softmax(prefill[:, -1, :], axis=-1).data[0]
+            scores = np.array(
+                [float(first_log_probs[c[0]]) for c in cand_arrays], dtype=np.float64
+            )
+            if max_cand == 1:
+                return scores
+
+            # One padded batch over all candidates' remaining tokens.  The
+            # last token of each candidate is only ever a target, so rows
+            # hold candidate[:-1] right-padded to max_cand - 1.
+            batch = len(cand_arrays)
+            rows = np.zeros((batch, max_cand - 1), dtype=np.int64)
+            for i, cand in enumerate(cand_arrays):
+                rows[i, : len(cand) - 1] = cand[:-1]
+            expanded = cache.expand(batch, extra_capacity=max_cand - 1)
+            logits = self.forward_incremental(rows, expanded)
+            log_probs = F.log_softmax(logits, axis=-1).data
+            for i, cand in enumerate(cand_arrays):
+                if len(cand) > 1:
+                    positions = np.arange(len(cand) - 1)
+                    scores[i] += float(log_probs[i, positions, cand[1:]].sum())
+            return scores
 
     def generate(
         self,
@@ -102,20 +244,43 @@ class DecoderLM(Module):
         temperature: float = 0.0,
         stop_ids: set[int] | None = None,
         rng: np.random.Generator | int | None = None,
+        use_cache: bool = True,
     ) -> np.ndarray:
         """Autoregressively extend a 1-D prompt.
 
         ``temperature == 0`` is greedy decoding; positive temperatures sample.
         Generation stops early when a token in ``stop_ids`` is produced or the
         model's maximum context is reached.
+
+        With ``use_cache`` (the default) the prompt is prefilled once and each
+        step forwards a single token against the KV cache; ``use_cache=False``
+        recomputes the full prompt every step (kept as the reference
+        implementation for correctness and perf comparisons).  Both paths
+        write into one preallocated output buffer.
         """
         rng = new_rng(rng)
-        ids = list(np.asarray(input_ids, dtype=np.int64))
+        prompt = np.asarray(input_ids, dtype=np.int64).ravel()
         stop_ids = stop_ids or set()
-        for _ in range(max_new_tokens):
-            if len(ids) >= self.config.max_position:
+        # Preallocated output buffer: the result is always a prefix of it.
+        out = np.empty(len(prompt) + max_new_tokens, dtype=np.int64)
+        out[: len(prompt)] = prompt
+        length = len(prompt)
+
+        cache: KVCache | None = None
+        log_probs: np.ndarray | None = None
+        if use_cache and length < self.config.max_position and max_new_tokens > 0:
+            cache = self.make_cache(
+                1, min(len(prompt) + max_new_tokens, self.config.max_position)
+            )
+            with no_grad():
+                prefill = self.forward_incremental(prompt[None, :], cache)
+                log_probs = F.log_softmax(prefill[:, -1, :], axis=-1).data[0]
+
+        for step in range(max_new_tokens):
+            if length >= self.config.max_position:
                 break
-            log_probs = self.next_token_log_probs(np.asarray(ids))
+            if log_probs is None:
+                log_probs = self.next_token_log_probs(out[:length])
             if temperature <= 0.0:
                 next_id = int(np.argmax(log_probs))
             else:
@@ -124,10 +289,17 @@ class DecoderLM(Module):
                 probs = np.exp(scaled)
                 probs /= probs.sum()
                 next_id = int(rng.choice(len(probs), p=probs))
-            ids.append(next_id)
+            out[length] = next_id
+            length += 1
+            log_probs = None
             if next_id in stop_ids:
                 break
-        return np.asarray(ids, dtype=np.int64)
+            more_needed = step + 1 < max_new_tokens and length < self.config.max_position
+            if cache is not None and more_needed:
+                with no_grad():
+                    logits = self.forward_incremental(out[None, length - 1 : length], cache)
+                    log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
+        return out[:length].copy()
 
     # ------------------------------------------------------------------ #
     def clm_logits(
@@ -135,3 +307,42 @@ class DecoderLM(Module):
     ) -> Tensor:
         """Alias of :meth:`forward` used by the causal-LM pre-training loop."""
         return self.forward(input_ids, attention_mask)
+
+
+class PrefixCachedScorer:
+    """Stateful scorer that reuses the KV cache across overlapping prompts.
+
+    Successive calls compute the longest common token prefix between the new
+    prompt and the previous one, roll the cache back to that point, and only
+    forward the difference.  This is what makes repeated ICL queries with a
+    shared few-shot block — and streaming detection, where each step's prompt
+    extends the previous one — cost O(new tokens) instead of O(full prompt).
+    """
+
+    def __init__(self, model: DecoderLM) -> None:
+        self.model = model
+        self._cache: KVCache | None = None
+        self._ids: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Drop the cached prompt (e.g. when switching conversations)."""
+        self._cache = None
+        self._ids = np.empty(0, dtype=np.int64)
+
+    @property
+    def cached_tokens(self) -> int:
+        """Number of prompt tokens currently held in the cache."""
+        return self._cache.length if self._cache is not None else 0
+
+    def score_continuations(
+        self, prompt_ids: np.ndarray, candidates: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Like :meth:`DecoderLM.score_continuations`, with prefix reuse."""
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        if self._cache is None:
+            self._cache = self.model.make_cache(1, self.model.config.max_position)
+        common = common_prefix_length(self._ids, prompt_ids)
+        self._cache.truncate(min(common, self._cache.length))
+        scores = self.model.score_continuations(prompt_ids, candidates, cache=self._cache)
+        self._ids = prompt_ids.copy()
+        return scores

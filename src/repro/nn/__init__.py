@@ -10,7 +10,7 @@ blocks).
 
 from repro.nn.module import Module, Parameter, ModuleList, Sequential
 from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout, GELU, ReLU, Tanh
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import KVCache, LayerKVCache, MultiHeadAttention
 from repro.nn.transformer import (
     FeedForward,
     TransformerEncoderLayer,
@@ -32,6 +32,8 @@ __all__ = [
     "GELU",
     "ReLU",
     "Tanh",
+    "KVCache",
+    "LayerKVCache",
     "MultiHeadAttention",
     "FeedForward",
     "TransformerEncoderLayer",

@@ -1,8 +1,15 @@
-"""Multi-head scaled-dot-product attention.
+"""Multi-head scaled-dot-product attention and key/value caching.
 
 Supports both bidirectional attention (BERT-style encoders used for SFT) and
 causal attention (GPT-style decoders used for in-context learning).  Padding
 masks are passed as boolean arrays where ``True`` marks *valid* tokens.
+
+Causal attention additionally supports *incremental* decoding: the keys and
+values of already-processed positions are stored in a :class:`KVCache`, so a
+forward pass only has to embed the new tokens (query length ``1..s``) and
+attend against the cached history.  This removes the O(n²·layers) recompute
+from autoregressive generation and lets many requests share one prompt
+prefix.
 """
 
 from __future__ import annotations
@@ -14,9 +21,115 @@ from repro.nn.module import Module
 from repro.tensor import Tensor, functional as F
 from repro.utils.rng import new_rng, spawn_rngs
 
-__all__ = ["MultiHeadAttention"]
+__all__ = ["LayerKVCache", "KVCache", "MultiHeadAttention"]
 
 _NEG_INF = -1e9
+
+
+class LayerKVCache:
+    """Preallocated key/value buffer for one causal attention layer.
+
+    The buffers have a fixed ``capacity`` along the sequence axis; ``length``
+    tracks how many positions are currently filled.  ``append`` writes the
+    new keys/values in place and returns views of the filled region, so the
+    steady-state decode step allocates nothing cache-related.
+    """
+
+    __slots__ = ("keys", "values", "length")
+
+    def __init__(self, batch_size: int, num_heads: int, capacity: int, head_dim: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.keys = np.zeros((batch_size, num_heads, capacity, head_dim), dtype=np.float32)
+        self.values = np.zeros((batch_size, num_heads, capacity, head_dim), dtype=np.float32)
+        self.length = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.keys.shape[2]
+
+    @property
+    def batch_size(self) -> int:
+        return self.keys.shape[0]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Store ``k``/``v`` of shape (batch, heads, s, head_dim); return full views."""
+        start = self.length
+        stop = start + k.shape[2]
+        if stop > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: appending {k.shape[2]} positions at length "
+                f"{start} exceeds capacity {self.capacity}"
+            )
+        self.keys[:, :, start:stop] = k
+        self.values[:, :, start:stop] = v
+        self.length = stop
+        return self.keys[:, :, :stop], self.values[:, :, :stop]
+
+    def truncate(self, length: int) -> None:
+        """Roll the cache back to ``length`` filled positions (keeps the buffers)."""
+        if not 0 <= length <= self.length:
+            raise ValueError(f"cannot truncate cache of length {self.length} to {length}")
+        self.length = length
+
+
+class KVCache:
+    """Per-layer key/value cache for a whole decoder stack."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        batch_size: int,
+        num_heads: int,
+        head_dim: int,
+        capacity: int,
+    ) -> None:
+        self.layers = [
+            LayerKVCache(batch_size, num_heads, capacity, head_dim) for _ in range(num_layers)
+        ]
+
+    @property
+    def length(self) -> int:
+        """Number of cached positions (all layers advance in lockstep)."""
+        return self.layers[0].length if self.layers else 0
+
+    @property
+    def capacity(self) -> int:
+        return self.layers[0].capacity if self.layers else 0
+
+    @property
+    def batch_size(self) -> int:
+        return self.layers[0].batch_size if self.layers else 0
+
+    def truncate(self, length: int) -> None:
+        """Roll every layer back to ``length`` positions (prefix reuse)."""
+        for layer in self.layers:
+            layer.truncate(length)
+
+    def expand(self, batch_size: int, extra_capacity: int = 0) -> "KVCache":
+        """Return a new cache with the current contents tiled to ``batch_size``.
+
+        Used for shared-prefix batched scoring: the prefix is prefilled once
+        with batch 1, then expanded so each candidate row continues from its
+        own copy.  The source cache is left untouched.
+        """
+        if self.batch_size not in (1, batch_size):
+            raise ValueError(
+                f"cannot expand a batch-{self.batch_size} cache to batch {batch_size}"
+            )
+        length = self.length
+        out = KVCache(
+            len(self.layers),
+            batch_size,
+            self.layers[0].keys.shape[1] if self.layers else 0,
+            self.layers[0].keys.shape[3] if self.layers else 0,
+            max(length + extra_capacity, 1),
+        )
+        for src, dst in zip(self.layers, out.layers):
+            dst.keys[:, :, :length] = src.keys[:, :, :length]
+            dst.values[:, :, :length] = src.values[:, :, :length]
+            dst.length = length
+        return out
 
 
 class MultiHeadAttention(Module):
@@ -51,26 +164,49 @@ class MultiHeadAttention(Module):
         # (B, S, H) -> (B, heads, S, head_dim)
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        cache: LayerKVCache | None = None,
+    ) -> Tensor:
         """Apply self-attention.
 
         Parameters
         ----------
         x:
-            Hidden states of shape ``(batch, seq, hidden)``.
+            Hidden states of shape ``(batch, seq, hidden)``.  With a cache,
+            ``seq`` covers only the *new* positions (query length 1..s).
         attention_mask:
-            Optional boolean array of shape ``(batch, seq)`` where ``True``
-            marks real tokens and ``False`` padding.
+            Optional boolean array where ``True`` marks real tokens and
+            ``False`` padding.  Its shape is ``(batch, key_len)`` where
+            ``key_len`` is the total attended length — equal to ``seq``
+            without a cache, ``cache.length + seq`` with one.
+        cache:
+            Optional :class:`LayerKVCache`.  The new keys/values are appended
+            to it and attention runs against the full cached history with the
+            causal mask offset so position ``i`` of the new block attends to
+            every cached position plus new positions ``<= i``.  Only valid
+            for causal attention.
         """
         batch, seq, _ = x.shape
         q = self._split_heads(self.q_proj(x), batch, seq)
         k = self._split_heads(self.k_proj(x), batch, seq)
         v = self._split_heads(self.v_proj(x), batch, seq)
 
-        scale = 1.0 / np.sqrt(self.head_dim)
-        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale  # (B, heads, S, S)
+        if cache is not None:
+            if not self.causal:
+                raise ValueError("KV caching requires causal attention")
+            # Cached keys/values are constants (inference only): detach to
+            # plain arrays before appending.
+            k_all, v_all = cache.append(k.data, v.data)
+            k, v = Tensor(k_all), Tensor(v_all)
+        key_len = k.shape[2]
 
-        mask = self._build_mask(attention_mask, batch, seq)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale  # (B, heads, S, key_len)
+
+        mask = self._build_mask(attention_mask, batch, seq, key_len)
         if mask is not None:
             scores = scores.masked_fill(~mask, _NEG_INF)
 
@@ -81,20 +217,23 @@ class MultiHeadAttention(Module):
         return self.out_proj(context)
 
     def _build_mask(
-        self, attention_mask: np.ndarray | None, batch: int, seq: int
+        self, attention_mask: np.ndarray | None, batch: int, query_len: int, key_len: int
     ) -> np.ndarray | None:
-        """Combine the padding mask and causal mask into a (B, 1|H, S, S) bool array."""
+        """Combine padding and causal masks into a (B, 1, query_len, key_len) bool array."""
         mask = None
         if attention_mask is not None:
             pad = np.asarray(attention_mask, dtype=bool)
-            if pad.shape != (batch, seq):
+            if pad.shape != (batch, key_len):
                 raise ValueError(
-                    f"attention_mask must have shape {(batch, seq)}, got {pad.shape}"
+                    f"attention_mask must have shape {(batch, key_len)}, got {pad.shape}"
                 )
             mask = pad[:, None, None, :]  # broadcast over heads and query positions
         if self.causal:
-            causal = np.tril(np.ones((seq, seq), dtype=bool))[None, None, :, :]
+            # Query position i sits at global position (key_len - query_len + i)
+            # and may attend to keys 0 .. key_len - query_len + i.
+            causal = np.tril(np.ones((query_len, key_len), dtype=bool), k=key_len - query_len)
+            causal = causal[None, None, :, :]
             mask = causal if mask is None else (mask & causal)
         if mask is not None:
-            mask = np.broadcast_to(mask, (batch, 1, seq, seq) if mask.shape[1] == 1 else mask.shape)
+            mask = np.broadcast_to(mask, (batch, 1, query_len, key_len))
         return mask

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import KVCache, LayerKVCache, MultiHeadAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
 from repro.nn.module import Module, ModuleList
 from repro.tensor import Tensor
@@ -91,8 +91,13 @@ class TransformerDecoderLayer(Module):
         self.feed_forward = FeedForward(hidden_size, intermediate_size, dropout, rng=rngs[1])
         self.dropout = Dropout(dropout, rng=rngs[2])
 
-    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
-        x = x + self.dropout(self.attention(self.attn_norm(x), attention_mask))
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        cache: LayerKVCache | None = None,
+    ) -> Tensor:
+        x = x + self.dropout(self.attention(self.attn_norm(x), attention_mask, cache=cache))
         x = x + self.feed_forward(self.ffn_norm(x))
         return x
 
@@ -149,6 +154,15 @@ class SinusoidalPositionalEncoding(Module):
             )
         block = self.encoding[:seq_len]
         return Tensor(np.broadcast_to(block, (batch_size, seq_len, block.shape[-1])).copy())
+
+    def slice(self, start: int, length: int, batch_size: int) -> Tensor:
+        """Encoding for positions ``start .. start+length`` (incremental decoding)."""
+        if start < 0 or start + length > self.max_positions:
+            raise ValueError(
+                f"positions [{start}, {start + length}) exceed maximum {self.max_positions}"
+            )
+        block = self.encoding[start : start + length]
+        return Tensor(np.broadcast_to(block, (batch_size, length, block.shape[-1])).copy())
 
 
 class TransformerEncoder(Module):
@@ -219,7 +233,23 @@ class TransformerDecoder(Module):
         )
         self.final_norm = LayerNorm(hidden_size)
 
-    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
-        for layer in self.layers:
-            x = layer(x, attention_mask)
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        cache: KVCache | None = None,
+    ) -> Tensor:
+        if cache is not None and len(cache.layers) != self.num_layers:
+            raise ValueError(
+                f"cache has {len(cache.layers)} layers, decoder has {self.num_layers}"
+            )
+        for i, layer in enumerate(self.layers):
+            x = layer(x, attention_mask, cache=cache.layers[i] if cache is not None else None)
         return self.final_norm(x)
+
+    def make_cache(self, batch_size: int, capacity: int) -> KVCache:
+        """Allocate an empty :class:`KVCache` matching this stack's geometry."""
+        attention = self.layers[0].attention
+        return KVCache(
+            self.num_layers, batch_size, attention.num_heads, attention.head_dim, capacity
+        )
