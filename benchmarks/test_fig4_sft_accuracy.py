@@ -17,6 +17,11 @@ from repro.training import SFTTrainer, TrainingConfig
 
 MODELS = ["albert-base-v2", "bert-base-uncased", "distilbert-base-uncased", "roberta-base"]
 
+#: ALBERT's cross-layer parameter sharing converges slower than the
+#: unshared encoders at this scale; three epochs leave it at the
+#: majority-class plateau while every other checkpoint separates.
+SFT_EPOCHS = {"albert-base-v2": 5}
+
 
 def test_fig4_pretrained_vs_sft_vs_baselines(benchmark, genome, registry):
     test = genome.test
@@ -27,7 +32,7 @@ def test_fig4_pretrained_vs_sft_vs_baselines(benchmark, genome, registry):
             pretrained = registry.load_encoder(name)
             raw_trainer = SFTTrainer(pretrained, registry.tokenizer, TrainingConfig(max_length=40))
             raw_acc = raw_trainer.evaluate_split(test).accuracy
-            tuned = train_sft(registry, genome, name, epochs=3, train_size=600)
+            tuned = train_sft(registry, genome, name, epochs=SFT_EPOCHS.get(name, 3), train_size=600)
             sft_acc = tuned.evaluate_split(test).accuracy
             rows.append({"model": name, "pretrain_acc": raw_acc, "sft_acc": sft_acc})
 

@@ -349,7 +349,22 @@ class _AnomalyDAE(Module):
     def forward(self, adjacency_norm: np.ndarray, features: Tensor) -> tuple[Tensor, Tensor]:
         a = Tensor(adjacency_norm)
         node_emb = self.struct_emb(a.matmul(self.struct_enc(features)).relu())
-        attr_emb = self.attr_emb(self.attr_enc(features.transpose()).relu())
+        # The attribute encoder's input dimension is the node count of the
+        # graph it was *fitted* on.  Scored graphs may be smaller (e.g. a
+        # test subsample); absent nodes contribute zero attribute mass.
+        attr_in = features.transpose()
+        expected = self.attr_enc.in_features
+        if attr_in.shape[1] < expected:
+            pad = np.zeros(
+                (attr_in.shape[0], expected - attr_in.shape[1]), dtype=np.float32
+            )
+            attr_in = Tensor.cat([attr_in, Tensor(pad)], axis=1)
+        elif attr_in.shape[1] > expected:
+            raise ValueError(
+                f"AnomalyDAE was fitted on {expected} nodes and cannot score a "
+                f"larger graph of {attr_in.shape[1]} nodes; refit on the larger graph"
+            )
+        attr_emb = self.attr_emb(self.attr_enc(attr_in).relu())
         adj_recon = node_emb.matmul(node_emb.transpose())
         attr_recon = node_emb.matmul(attr_emb.transpose())
         return adj_recon, attr_recon

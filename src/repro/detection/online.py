@@ -130,10 +130,18 @@ class ICLStreamingDetector(StreamingDetectorBase):
     history is paid once per job, not once per step.
     """
 
-    def __init__(self, engine: ICLEngine, feature_order: tuple[str, ...] = FEATURE_ORDER) -> None:
+    def __init__(
+        self,
+        engine: ICLEngine,
+        feature_order: tuple[str, ...] = FEATURE_ORDER,
+        pool=None,
+    ) -> None:
         self.engine = engine
         self.feature_order = feature_order
-        self._scorer = PrefixCachedScorer(engine.model)
+        # With a shared PrefixCachePool (explicit, or the engine's), many
+        # detectors and engines reuse each other's template/prefix prefills;
+        # otherwise the detector keeps its private per-job prefix cache.
+        self._scorer = PrefixCachedScorer(engine.model, pool=pool or engine.cache_pool)
 
     # ------------------------------------------------------------------ #
     def stream(self, record: JobRecord) -> Iterator[StreamingPrediction]:

@@ -79,6 +79,7 @@ class ChainOfThoughtExplainer:
             engine.tokenizer,
             template=PromptTemplate(chain_of_thought=True),
             use_cache=engine.use_cache,
+            cache_pool=engine.cache_pool,
         )
 
     # ------------------------------------------------------------------ #

@@ -63,6 +63,7 @@ class ICLEngine:
         *,
         use_cache: bool = True,
         batch_size: int = 16,
+        cache_pool=None,
     ) -> None:
         self.model = model
         self.tokenizer = tokenizer
@@ -72,13 +73,17 @@ class ICLEngine:
         self.template = template or PromptTemplate(include_task_description=False)
         self.use_cache = use_cache
         self.batch_size = max(1, int(batch_size))
+        #: Optional shared :class:`~repro.serving.PrefixCachePool`: engines
+        #: given the same pool reuse each other's prompt-prefix prefills
+        #: (the serving scenario), instead of each owning a private cache.
+        self.cache_pool = cache_pool
         # Pre-encode the category continuations once.
         self._category_ids = {
             category: self.tokenizer.encode_causal(category, add_bos=False)
             for category in CATEGORIES
         }
         self._max_category_len = max(len(ids) for ids in self._category_ids.values())
-        self._scorer = PrefixCachedScorer(model)
+        self._scorer = PrefixCachedScorer(model, pool=cache_pool)
 
     # ------------------------------------------------------------------ #
     def _prompt_fits(self, prompt_ids: np.ndarray) -> bool:
@@ -166,46 +171,64 @@ class ICLEngine:
         single_token = all(len(c) == 1 for c in categories)
 
         with no_grad():
-            base = self.model.make_cache(1, max(common, 1))
-            if common > 0:
-                self.model.forward_incremental(arrays[0][None, :common], base)
+            base = None
+            pooled = self.cache_pool is not None and common > 0
+            if pooled:
+                # Draw the shared-prefix prefill from the process-wide pool:
+                # another engine (or a previous batch) may already have it.
+                base, _ = self.cache_pool.checkout(arrays[0][:common])
+            if base is None:
+                base = self.model.make_cache(1, max(common, 1))
+            try:
+                if common > base.length:
+                    self.model.forward_incremental(
+                        arrays[0][None, base.length : common], base
+                    )
 
-            # One row per prompt when both categories are single tokens (both
-            # scores read off the same last-position distribution); one row
-            # per (prompt, category) otherwise.
-            if single_token:
-                rows = [(i, None, p[common:]) for i, p in zip(fit, arrays)]
-            else:
-                rows = [
-                    (i, c, np.concatenate([p[common:], categories[c][:-1]]))
-                    for i, p in zip(fit, arrays)
-                    for c in range(len(CATEGORIES))
-                ]
+                # One row per prompt when both categories are single tokens
+                # (both scores read off the same last-position distribution);
+                # one row per (prompt, category) otherwise.
+                if single_token:
+                    rows = [(i, None, p[common:]) for i, p in zip(fit, arrays)]
+                else:
+                    rows = [
+                        (i, c, np.concatenate([p[common:], categories[c][:-1]]))
+                        for i, p in zip(fit, arrays)
+                        for c in range(len(CATEGORIES))
+                    ]
 
-            partial: dict[int, dict[str, float]] = {i: {} for i in fit}
-            for start in range(0, len(rows), self.batch_size):
-                chunk = rows[start : start + self.batch_size]
-                longest = max(len(r[2]) for r in chunk)
-                padded = np.zeros((len(chunk), longest), dtype=np.int64)
-                for r, (_, _, tokens) in enumerate(chunk):
-                    padded[r, : len(tokens)] = tokens
-                expanded = base.expand(len(chunk), extra_capacity=longest)
-                logits = self.model.forward_incremental(padded, expanded)
-                log_probs = F.log_softmax(logits, axis=-1).data
-                for r, (i, cat, _) in enumerate(chunk):
-                    prompt_len = len(prompts[i])
-                    last = prompt_len - common - 1
-                    if cat is None:
-                        for c, name in enumerate(CATEGORIES):
-                            token = int(categories[c][0])
-                            partial[i][name] = float(log_probs[r, last, token])
-                    else:
-                        cand = categories[cat]
-                        positions = last + np.arange(len(cand))
-                        total = float(log_probs[r, positions, cand].sum())
-                        partial[i][CATEGORIES[cat]] = total / max(len(cand), 1)
-            for i in fit:
-                results[i] = partial[i]
+                partial: dict[int, dict[str, float]] = {i: {} for i in fit}
+                for start in range(0, len(rows), self.batch_size):
+                    chunk = rows[start : start + self.batch_size]
+                    longest = max(len(r[2]) for r in chunk)
+                    padded = np.zeros((len(chunk), longest), dtype=np.int64)
+                    for r, (_, _, tokens) in enumerate(chunk):
+                        padded[r, : len(tokens)] = tokens
+                    expanded = base.expand(len(chunk), extra_capacity=longest)
+                    logits = self.model.forward_incremental(padded, expanded)
+                    log_probs = F.log_softmax(logits, axis=-1).data
+                    for r, (i, cat, _) in enumerate(chunk):
+                        prompt_len = len(prompts[i])
+                        last = prompt_len - common - 1
+                        if cat is None:
+                            for c, name in enumerate(CATEGORIES):
+                                token = int(categories[c][0])
+                                partial[i][name] = float(log_probs[r, last, token])
+                        else:
+                            cand = categories[cat]
+                            positions = last + np.arange(len(cand))
+                            total = float(log_probs[r, positions, cand].sum())
+                            partial[i][CATEGORIES[cat]] = total / max(len(cand), 1)
+                for i in fit:
+                    results[i] = partial[i]
+            finally:
+                if pooled:
+                    # Even if scoring raised, the shared prefill must go back
+                    # to the pool for other engines.  A forward that failed
+                    # mid-stack can leave layers at different lengths; roll
+                    # back to the shortest so the cache stays consistent.
+                    base.truncate(min(layer.length for layer in base.layers))
+                    self.cache_pool.checkin(arrays[0][:common], base)
         return results
 
     def classify_batch(

@@ -63,6 +63,12 @@ class ICLFineTuneConfig:
     #: the only path from hidden states to category logits, so freezing it
     #: prevents the adapters from learning the task at all (see DESIGN.md).
     train_token_embedding: bool = True
+    #: Downsample the majority class so fine-tuning sees both categories
+    #: equally often.  Workflow anomaly data is heavily Normal-skewed
+    #: (~70/30 on the synthetic traces); with a completion-only loss the
+    #: scaled-down decoders otherwise minimise loss by collapsing to the
+    #: majority category instead of separating the classes.
+    balance_classes: bool = False
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -144,11 +150,25 @@ class ICLFineTuner:
             texts.append(f"{prompt} {CATEGORIES[int(record.label)]}")
         return texts
 
+    def _balance(self, records: list[JobRecord]) -> list[JobRecord]:
+        """Downsample the majority class to the minority-class count."""
+        by_class = {c: [r for r in records if r.label == c] for c in (0, 1)}
+        n = min(len(by_class[0]), len(by_class[1]))
+        if n == 0:
+            return records
+        balanced: list[JobRecord] = []
+        for c in (0, 1):
+            idx = self.rng.choice(len(by_class[c]), size=n, replace=False)
+            balanced.extend(by_class[c][i] for i in idx)
+        return balanced
+
     def finetune(self, records: Sequence[JobRecord]) -> ICLFineTuneResult:
         """Fine-tune the adapters on prompt-formatted labeled records."""
         labeled = [r for r in records if r.label in (0, 1)]
         if not labeled:
             raise ValueError("fine-tuning requires labeled records")
+        if self.config.balance_classes:
+            labeled = self._balance(labeled)
         self.prepare()
         cfg = self.config
         texts = self._format_training_texts(labeled)

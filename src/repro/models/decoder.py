@@ -26,7 +26,7 @@ from repro.nn.transformer import SinusoidalPositionalEncoding
 from repro.tensor import Tensor, no_grad, functional as F
 from repro.utils.rng import new_rng, spawn_rngs
 
-__all__ = ["DecoderLM", "PrefixCachedScorer", "common_prefix_length"]
+__all__ = ["DecoderLM", "PrefixCachedScorer", "common_prefix_length", "left_pad_batch"]
 
 
 def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
@@ -36,6 +36,34 @@ def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
         return 0
     diff = np.nonzero(a[:n] != b[:n])[0]
     return int(diff[0]) if len(diff) else n
+
+
+def left_pad_batch(
+    prompts: Sequence[np.ndarray], pad_id: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Left-pad variable-length prompts into one batch.
+
+    Returns ``(ids, mask, positions, lengths)``: token ids of shape
+    ``(batch, max_len)`` with ``pad_id`` on the left, a boolean mask marking
+    real tokens, per-token absolute positions (each row position-encoded
+    from its own first real token; padded columns hold 0 and are masked),
+    and the original prompt lengths.  This is the single source of truth for
+    the batched-decoding layout — benchmarks and tests validating the padded
+    prefill must build batches through it.
+    """
+    arrays = [np.asarray(p, dtype=np.int64).ravel() for p in prompts]
+    lengths = np.array([len(a) for a in arrays], dtype=np.int64)
+    batch = len(arrays)
+    max_len = int(lengths.max()) if batch else 0
+    ids = np.full((batch, max_len), pad_id, dtype=np.int64)
+    mask = np.zeros((batch, max_len), dtype=bool)
+    positions = np.zeros((batch, max_len), dtype=np.int64)
+    for i, a in enumerate(arrays):
+        pad = max_len - len(a)
+        ids[i, pad:] = a
+        mask[i, pad:] = True
+        positions[i, pad:] = np.arange(len(a))
+    return ids, mask, positions, lengths
 
 
 class DecoderLM(Module):
@@ -98,13 +126,17 @@ class DecoderLM(Module):
         input_ids: np.ndarray,
         cache: KVCache,
         attention_mask: np.ndarray | None = None,
+        positions: np.ndarray | None = None,
     ) -> Tensor:
         """Forward only the new tokens against the cached history.
 
         ``input_ids`` has shape (batch, s) and holds the tokens at global
         positions ``cache.length .. cache.length + s``; the cache is advanced
         in place.  ``attention_mask`` (if given) covers the *full* attended
-        length ``cache.length + s``.  Returns next-token logits for the new
+        length ``cache.length + s``.  ``positions`` (if given, shape
+        ``(batch, s)``) overrides the absolute position of every new token —
+        left-padded batches use it so each row is position-encoded from its
+        own first real token.  Returns next-token logits for the new
         positions only, shape (batch, s, vocab).
         """
         input_ids = np.asarray(input_ids, dtype=np.int64)
@@ -121,7 +153,16 @@ class DecoderLM(Module):
             raise ValueError(
                 f"cache batch size {cache.batch_size} does not match input batch {batch}"
             )
-        hidden = self.token_embedding(input_ids) + self.position_embedding.slice(past, seq, batch)
+        if positions is None:
+            position_enc = self.position_embedding.slice(past, seq, batch)
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.shape != (batch, seq):
+                raise ValueError(
+                    f"positions must have shape {(batch, seq)}, got {positions.shape}"
+                )
+            position_enc = self.position_embedding.gather(positions)
+        hidden = self.token_embedding(input_ids) + position_enc
         hidden = self.embedding_dropout(hidden)
         hidden = self.decoder(hidden, attention_mask, cache=cache)
         return hidden.matmul(self.token_embedding.weight.transpose())
@@ -301,6 +342,129 @@ class DecoderLM(Module):
                     log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
         return out[:length].copy()
 
+    @staticmethod
+    def _sample_rows(
+        log_probs: np.ndarray, temperature: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised next-token choice for a (batch, vocab) log-prob matrix."""
+        if temperature <= 0.0:
+            return np.argmax(log_probs, axis=-1)
+        scaled = log_probs / temperature
+        scaled -= scaled.max(axis=-1, keepdims=True)
+        probs = np.exp(scaled)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        cdf = np.cumsum(probs, axis=-1)
+        u = rng.random((log_probs.shape[0], 1))
+        return np.minimum((cdf < u).sum(axis=-1), log_probs.shape[-1] - 1)
+
+    def generate_batch(
+        self,
+        prompts: Sequence[np.ndarray],
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+        rng: np.random.Generator | int | None = None,
+        pad_id: int = 0,
+    ) -> list[np.ndarray]:
+        """Autoregressively extend many 1-D prompts in one cache-backed loop.
+
+        Variable-length prompts are *left*-padded to a common length so every
+        row's last prompt token sits in the final prefill column; padded
+        positions are excluded from attention via the padding mask and each
+        row is position-encoded from its own first real token, so per-row
+        logits match the single-prompt :meth:`generate` to float32 tolerance.
+        Each decode step forwards one token per row against the shared
+        :class:`~repro.nn.KVCache` and samples all rows at once; rows stop
+        independently when they emit a token in ``stop_ids``, reach
+        ``max_new_tokens``, or hit the context limit.
+
+        Returns one ``prompt + generated`` array per input, in input order.
+        ``temperature == 0`` is greedy (deterministic and independent of
+        batch composition or ordering); positive temperatures sample each row
+        from its own distribution via one shared generator.
+        """
+        arrays = [np.asarray(p, dtype=np.int64).ravel() for p in prompts]
+        if not arrays:
+            return []
+        if any(len(a) == 0 for a in arrays):
+            raise ValueError("generate_batch requires non-empty prompts")
+        rng = new_rng(rng)
+        stop_ids = stop_ids or set()
+        stop_array = np.array(sorted(stop_ids), dtype=np.int64)
+        batch = len(arrays)
+        lengths = np.array([len(a) for a in arrays], dtype=np.int64)
+        max_len = int(lengths.max())
+        if max_len > self.config.max_position:
+            raise ValueError(
+                f"longest prompt ({max_len}) exceeds the maximum context "
+                f"{self.config.max_position}"
+            )
+        capacity = min(max_len + max_new_tokens, self.config.max_position)
+        ids, prompt_mask, positions, _ = left_pad_batch(arrays, pad_id=pad_id)
+        # The mask buffer covers the full decode capacity; generated tokens
+        # flip their column True as they land.
+        mask = np.zeros((batch, capacity), dtype=bool)
+        mask[:, :max_len] = prompt_mask
+
+        gen = np.zeros((batch, max(max_new_tokens, 1)), dtype=np.int64)
+        gen_len = np.zeros(batch, dtype=np.int64)
+        finished = lengths >= self.config.max_position
+        if max_new_tokens <= 0 or bool(finished.all()):
+            return [a.copy() for a in arrays]
+
+        with no_grad():
+            cache = self.make_cache(batch, capacity)
+            prefill = self.forward_incremental(
+                ids, cache, attention_mask=mask[:, :max_len], positions=positions
+            )
+            log_probs = F.log_softmax(prefill[:, -1, :], axis=-1).data
+
+            for step in range(max_new_tokens):
+                next_ids = self._sample_rows(log_probs, temperature, rng)
+                active = ~finished
+                gen[active, step] = next_ids[active]
+                gen_len[active] = step + 1
+                if len(stop_array):
+                    finished |= active & np.isin(next_ids, stop_array)
+                finished |= lengths + gen_len >= self.config.max_position
+                padded_len = max_len + step + 1  # key length once next_ids lands
+                if bool(finished.all()) or step + 1 >= max_new_tokens:
+                    break
+                if padded_len > self.config.max_position:
+                    # The *padded* batch has hit the context window.  Shorter
+                    # rows may individually still fit; finish them through the
+                    # sequential path so greedy output stays independent of
+                    # batch composition.
+                    for i in np.flatnonzero(~finished):
+                        done_so_far = np.concatenate([arrays[i], gen[i, : gen_len[i]]])
+                        tail = self.generate(
+                            done_so_far,
+                            max_new_tokens=max_new_tokens - int(gen_len[i]),
+                            temperature=temperature,
+                            stop_ids=stop_ids,
+                            rng=rng,
+                        )
+                        extra = tail[len(done_so_far) :]
+                        gen[i, gen_len[i] : gen_len[i] + len(extra)] = extra
+                        gen_len[i] += len(extra)
+                    break
+                mask[:, max_len + step] = active
+                step_positions = np.minimum(
+                    lengths + step, self.config.max_position - 1
+                )[:, None]
+                logits = self.forward_incremental(
+                    next_ids[:, None],
+                    cache,
+                    attention_mask=mask[:, :padded_len],
+                    positions=step_positions,
+                )
+                log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data
+
+        return [
+            np.concatenate([arrays[i], gen[i, : gen_len[i]]]) for i in range(batch)
+        ]
+
     # ------------------------------------------------------------------ #
     def clm_logits(
         self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
@@ -317,21 +481,30 @@ class PrefixCachedScorer:
     forward the difference.  This is what makes repeated ICL queries with a
     shared few-shot block — and streaming detection, where each step's prompt
     extends the previous one — cost O(new tokens) instead of O(full prompt).
+
+    With a ``pool`` (a :class:`~repro.serving.PrefixCachePool`) the scorer
+    draws its cache from a shared LRU pool instead of owning one: each call
+    checks out the pooled cache with the longest matching prefix, advances it
+    over the new prompt, and checks it back in — so *different* scorers built
+    on the same model reuse each other's prefills.
     """
 
-    def __init__(self, model: DecoderLM) -> None:
+    def __init__(self, model: DecoderLM, pool=None) -> None:
         self.model = model
+        self.pool = pool
         self._cache: KVCache | None = None
         self._ids: np.ndarray = np.empty(0, dtype=np.int64)
+        self.last_reused_tokens = 0
 
     def reset(self) -> None:
         """Drop the cached prompt (e.g. when switching conversations)."""
         self._cache = None
         self._ids = np.empty(0, dtype=np.int64)
+        self.last_reused_tokens = 0
 
     @property
     def cached_tokens(self) -> int:
-        """Number of prompt tokens currently held in the cache."""
+        """Number of prompt tokens currently held in the private cache."""
         return self._cache.length if self._cache is not None else 0
 
     def score_continuations(
@@ -339,10 +512,23 @@ class PrefixCachedScorer:
     ) -> np.ndarray:
         """Like :meth:`DecoderLM.score_continuations`, with prefix reuse."""
         prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        if self.pool is not None:
+            cache, reused = self.pool.checkout(prompt_ids)
+            self.last_reused_tokens = reused
+            try:
+                return self.model.score_continuations(prompt_ids, candidates, cache=cache)
+            finally:
+                # Even when scoring raises (e.g. context overflow) the cache
+                # still holds a valid prefix of this prompt — return it.  A
+                # forward that failed mid-stack can leave layers at different
+                # lengths; roll back to the shortest to stay consistent.
+                cache.truncate(min(layer.length for layer in cache.layers))
+                self.pool.checkin(prompt_ids, cache)
         if self._cache is None:
             self._cache = self.model.make_cache(1, self.model.config.max_position)
         common = common_prefix_length(self._ids, prompt_ids)
         self._cache.truncate(min(common, self._cache.length))
+        self.last_reused_tokens = self._cache.length
         scores = self.model.score_continuations(prompt_ids, candidates, cache=self._cache)
         self._ids = prompt_ids.copy()
         return scores

@@ -21,7 +21,9 @@ from repro.utils.rng import new_rng
 __all__ = ["LoRALinear", "apply_lora", "merge_lora", "lora_parameter_summary", "LoRASummary"]
 
 #: Default projection names receiving adapters (attention + feed-forward).
-DEFAULT_TARGETS: tuple[str, ...] = ("q_proj", "k_proj", "v_proj", "out_proj", "fc_in", "fc_out")
+#: ``qkv_proj`` is the fused query/key/value projection of
+#: :class:`~repro.nn.attention.MultiHeadAttention`.
+DEFAULT_TARGETS: tuple[str, ...] = ("qkv_proj", "out_proj", "fc_in", "fc_out")
 
 
 class LoRALinear(Module):

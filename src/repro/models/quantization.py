@@ -58,7 +58,7 @@ class QuantizedLinear(Module):
 def quantize_model(
     model: Module,
     bits: int = 4,
-    target_names: tuple[str, ...] = ("q_proj", "k_proj", "v_proj", "out_proj", "fc_in", "fc_out"),
+    target_names: tuple[str, ...] = ("qkv_proj", "out_proj", "fc_in", "fc_out"),
 ) -> int:
     """Replace matching Linear layers with :class:`QuantizedLinear`.
 

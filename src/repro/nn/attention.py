@@ -21,7 +21,7 @@ from repro.nn.module import Module
 from repro.tensor import Tensor, functional as F
 from repro.utils.rng import new_rng, spawn_rngs
 
-__all__ = ["LayerKVCache", "KVCache", "MultiHeadAttention"]
+__all__ = ["LayerKVCache", "KVCache", "MultiHeadAttention", "fuse_qkv_linears"]
 
 _NEG_INF = -1e9
 
@@ -106,6 +106,25 @@ class KVCache:
         for layer in self.layers:
             layer.truncate(length)
 
+    def clone_prefix(self, length: int, capacity: int | None = None) -> "KVCache":
+        """Copy of the first ``length`` cached positions; the donor is untouched.
+
+        Used by the prefix-cache pool to serve a *partial* overlap without
+        consuming (and truncating) the longer pooled entry.
+        """
+        if not 0 <= length <= self.length:
+            raise ValueError(f"cannot clone {length} positions of a length-{self.length} cache")
+        heads = self.layers[0].keys.shape[1] if self.layers else 0
+        head_dim = self.layers[0].keys.shape[3] if self.layers else 0
+        out = KVCache(
+            len(self.layers), self.batch_size, heads, head_dim, max(capacity or length, 1)
+        )
+        for src, dst in zip(self.layers, out.layers):
+            dst.keys[:, :, :length] = src.keys[:, :, :length]
+            dst.values[:, :, :length] = src.values[:, :, :length]
+            dst.length = length
+        return out
+
     def expand(self, batch_size: int, extra_capacity: int = 0) -> "KVCache":
         """Return a new cache with the current contents tiled to ``batch_size``.
 
@@ -132,8 +151,40 @@ class KVCache:
         return out
 
 
+def fuse_qkv_linears(q: Linear, k: Linear, v: Linear) -> Linear:
+    """Stack three (H, H) projections into one fused (3H, H) Linear.
+
+    Row blocks ``[0:H]``, ``[H:2H]`` and ``[2H:3H]`` of the fused weight hold
+    the query, key and value projections respectively (biases likewise), so
+    ``x @ W_qkv^T`` computes all three projections in a single matmul.
+    """
+    if not (q.in_features == k.in_features == v.in_features):
+        raise ValueError("q/k/v projections must share in_features")
+    biases = [p.bias for p in (q, k, v)]
+    if any(b is None for b in biases) and not all(b is None for b in biases):
+        raise ValueError("q/k/v projections must either all have biases or none")
+    fused = Linear(
+        q.in_features,
+        q.out_features + k.out_features + v.out_features,
+        bias=biases[0] is not None,
+        init=False,
+    )
+    fused.weight.data = np.concatenate([q.weight.data, k.weight.data, v.weight.data], axis=0)
+    if biases[0] is not None:
+        fused.bias.data = np.concatenate([b.data for b in biases], axis=0)
+    return fused
+
+
 class MultiHeadAttention(Module):
-    """Multi-head self-attention with optional causal masking."""
+    """Multi-head self-attention with optional causal masking.
+
+    The query/key/value projections are *fused* into a single ``qkv_proj``
+    matmul of shape ``(3H, H)``.  The fused weight rows are initialised from
+    the same three rng streams the historical separate ``q_proj``/``k_proj``/
+    ``v_proj`` layers drew from, so models seeded before the fusion produce
+    bit-identical weights, and :meth:`_upgrade_state_dict` converts legacy
+    checkpoints with separate projection keys on load.
+    """
 
     def __init__(
         self,
@@ -154,11 +205,22 @@ class MultiHeadAttention(Module):
         self.num_heads = num_heads
         self.head_dim = hidden_size // num_heads
         self.causal = causal
-        self.q_proj = Linear(hidden_size, hidden_size, rng=rngs[0])
-        self.k_proj = Linear(hidden_size, hidden_size, rng=rngs[1])
-        self.v_proj = Linear(hidden_size, hidden_size, rng=rngs[2])
+        self.qkv_proj = fuse_qkv_linears(
+            Linear(hidden_size, hidden_size, rng=rngs[0]),
+            Linear(hidden_size, hidden_size, rng=rngs[1]),
+            Linear(hidden_size, hidden_size, rng=rngs[2]),
+        )
         self.out_proj = Linear(hidden_size, hidden_size, rng=rngs[3])
         self.attn_dropout = Dropout(dropout, rng=rngs[4])
+
+    def _upgrade_state_dict(self, state: dict, prefix: str) -> None:
+        """Fuse legacy ``{q,k,v}_proj`` checkpoint keys into ``qkv_proj``."""
+        for kind in ("weight", "bias"):
+            legacy = [f"{prefix}{n}_proj.{kind}" for n in "qkv"]
+            if f"{prefix}qkv_proj.{kind}" not in state and all(k in state for k in legacy):
+                state[f"{prefix}qkv_proj.{kind}"] = np.concatenate(
+                    [np.asarray(state.pop(k)) for k in legacy], axis=0
+                )
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         # (B, S, H) -> (B, heads, S, head_dim)
@@ -190,9 +252,11 @@ class MultiHeadAttention(Module):
             for causal attention.
         """
         batch, seq, _ = x.shape
-        q = self._split_heads(self.q_proj(x), batch, seq)
-        k = self._split_heads(self.k_proj(x), batch, seq)
-        v = self._split_heads(self.v_proj(x), batch, seq)
+        h = self.hidden_size
+        qkv = self.qkv_proj(x)  # (B, S, 3H): one fused matmul for q, k and v
+        q = self._split_heads(qkv[:, :, :h], batch, seq)
+        k = self._split_heads(qkv[:, :, h : 2 * h], batch, seq)
+        v = self._split_heads(qkv[:, :, 2 * h :], batch, seq)
 
         if cache is not None:
             if not self.causal:

@@ -20,19 +20,25 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         rng: np.random.Generator | int | None = None,
+        init: bool = True,
     ) -> None:
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("in_features and out_features must be positive")
-        rng = new_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
-        bound = float(1.0 / np.sqrt(in_features))
-        self.weight = Parameter(rng.uniform(-bound, bound, size=(out_features, in_features)))
-        if bias:
-            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_features,)))
+        if init:
+            rng = new_rng(rng)
+            bound = float(1.0 / np.sqrt(in_features))
+            weight = rng.uniform(-bound, bound, size=(out_features, in_features))
+            bias_values = rng.uniform(-bound, bound, size=(out_features,)) if bias else None
         else:
-            self.bias = None
+            # Caller will overwrite the parameters (e.g. weight fusion);
+            # skip the random draws.
+            weight = np.zeros((out_features, in_features), dtype=np.float32)
+            bias_values = np.zeros(out_features, dtype=np.float32) if bias else None
+        self.weight = Parameter(weight)
+        self.bias = Parameter(bias_values) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x.matmul(self.weight.transpose())

@@ -164,6 +164,21 @@ class SinusoidalPositionalEncoding(Module):
         block = self.encoding[start : start + length]
         return Tensor(np.broadcast_to(block, (batch_size, length, block.shape[-1])).copy())
 
+    def gather(self, positions: np.ndarray) -> Tensor:
+        """Encoding for an explicit per-token position array of shape (batch, seq).
+
+        Left-padded batched decoding needs this: each row's real tokens sit at
+        their own absolute positions (0-based from the row's first real token),
+        which differ across rows of the same padded batch.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size and (positions.min() < 0 or positions.max() >= self.max_positions):
+            raise ValueError(
+                f"positions must lie in [0, {self.max_positions}), got "
+                f"[{positions.min()}, {positions.max()}]"
+            )
+        return Tensor(self.encoding[positions])
+
 
 class TransformerEncoder(Module):
     """Stack of encoder layers with optional cross-layer parameter sharing.

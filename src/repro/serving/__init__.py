@@ -1,0 +1,24 @@
+"""Batched serving layer: shared prefix-cache pool and request coalescing.
+
+Built on the incremental-inference subsystem (PR 1), this package provides
+the pieces that turn single-stream inference into a serving stack:
+
+* :class:`PrefixCachePool` — a process-wide, capacity-bounded LRU pool of
+  prompt-prefix KV caches, shared by every scorer/engine/detector built on
+  the same model, with hit/miss/eviction statistics.
+* :class:`BatchScheduler` — a serve-style front door that coalesces pending
+  generate/score requests into left-padded batches driven through
+  :meth:`~repro.models.decoder.DecoderLM.generate_batch` and the pooled
+  prefix-cached scorer.
+"""
+
+from repro.serving.pool import PoolStats, PrefixCachePool
+from repro.serving.scheduler import BatchScheduler, SchedulerStats, ServingRequest
+
+__all__ = [
+    "PoolStats",
+    "PrefixCachePool",
+    "BatchScheduler",
+    "SchedulerStats",
+    "ServingRequest",
+]

@@ -1,0 +1,197 @@
+"""Shared LRU pool of prompt-prefix KV caches.
+
+PR 1 gave every :class:`~repro.models.decoder.PrefixCachedScorer` a private
+KV cache, which reuses work across the *successive* prompts of one consumer
+but not across consumers.  In a serving scenario many engines and detectors
+score prompts built from the same template head (and often the same few-shot
+example block), so the pool makes those prefills a process-wide resource:
+caches are checked out by longest common token prefix, advanced by the
+consumer, and checked back in under the new prompt — bounded by an LRU
+eviction policy so memory stays capped no matter how many distinct prompt
+families pass through.
+
+The pool is synchronous and single-threaded (like the rest of the library):
+``checkout`` *removes* the entry it returns, so two consumers can never
+mutate the same ``KVCache`` buffers concurrently.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.decoder import DecoderLM, common_prefix_length
+from repro.nn import KVCache
+
+__all__ = ["PoolStats", "PrefixCachePool"]
+
+
+@dataclass
+class PoolStats:
+    """Running counters of pool effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    tokens_reused: int = 0
+    tokens_prefilled: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of checkouts that found a non-empty shared prefix."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "tokens_reused": self.tokens_reused,
+            "tokens_prefilled": self.tokens_prefilled,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _PoolEntry:
+    """One cached prompt prefix: the token ids and their keys/values."""
+
+    ids: np.ndarray
+    cache: KVCache
+
+
+#: Process-wide pools, one per model instance (dropped with the model).
+_SHARED_POOLS: "weakref.WeakKeyDictionary[DecoderLM, PrefixCachePool]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class PrefixCachePool:
+    """Capacity-bounded LRU pool of prompt-prefix KV caches for one model.
+
+    ``min_reuse_tokens`` guards against *destructive* matches: nearly every
+    causal prompt shares at least the BOS token, and checking out an entry
+    truncates it to the common prefix, so without a floor two unrelated
+    prompt families interleaving would keep stealing and wiping each
+    other's prefills while the hit counter looked healthy.  Overlaps below
+    the floor are treated as misses and leave the pooled entries untouched.
+    """
+
+    def __init__(
+        self, model: DecoderLM, max_entries: int = 8, min_reuse_tokens: int = 8
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if min_reuse_tokens <= 0:
+            raise ValueError(f"min_reuse_tokens must be positive, got {min_reuse_tokens}")
+        self.model = model
+        self.max_entries = max_entries
+        self.min_reuse_tokens = min_reuse_tokens
+        self.stats = PoolStats()
+        self._entries: OrderedDict[int, _PoolEntry] = OrderedDict()
+
+    @classmethod
+    def shared(cls, model: DecoderLM, max_entries: int = 8) -> "PrefixCachePool":
+        """The process-wide pool for ``model`` (created on first use).
+
+        Engines, streaming detectors and schedulers built around the same
+        model instance all draw from this pool unless given a private one.
+        """
+        pool = _SHARED_POOLS.get(model)
+        if pool is None:
+            pool = cls(model, max_entries=max_entries)
+            _SHARED_POOLS[model] = pool
+        return pool
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(ids: np.ndarray) -> int:
+        """Hash key of a token-prefix (identity for check-in deduplication)."""
+        return hash(ids.tobytes())
+
+    def clear(self) -> None:
+        """Drop every pooled cache (stats are kept)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def checkout(self, prompt_ids: np.ndarray) -> tuple[KVCache, int]:
+        """Return ``(cache, reused_tokens)`` for scoring/extending ``prompt_ids``.
+
+        The entry sharing the longest common token prefix with ``prompt_ids``
+        serves the request: when the prompt covers the whole entry the cache
+        is *removed* from the pool and handed over; when the overlap is only
+        partial the shared prefix is *copied* and the entry stays for its own
+        prompt family.  Either way the caller exclusively owns the returned
+        cache until :meth:`checkin`.  With no overlap of at least
+        ``min_reuse_tokens`` a fresh empty cache is allocated (a miss).
+        """
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        best_key, best_common = None, 0
+        for key, entry in self._entries.items():
+            common = common_prefix_length(entry.ids, prompt_ids)
+            if common > best_common:
+                best_key, best_common = key, common
+        if best_key is None or best_common < self.min_reuse_tokens:
+            self.stats.misses += 1
+            cache = self.model.make_cache(1, self.model.config.max_position)
+            cache.pool_reused_tokens = 0
+            return cache, 0
+        entry = self._entries[best_key]
+        if best_common >= entry.cache.length:
+            # The prompt covers the whole entry (typically an extension of
+            # it): hand the cache over and let checkin re-add the longer
+            # prefill.
+            self._entries.pop(best_key)
+            cache = entry.cache
+            cache.truncate(min(best_common, cache.length))
+        else:
+            # Partial overlap (e.g. a shared template head): copy the prefix
+            # instead of consuming the entry, so the longer prefill stays
+            # available to its own prompt family.
+            self._entries.move_to_end(best_key)
+            cache = entry.cache.clone_prefix(
+                best_common, self.model.config.max_position
+            )
+        reused = cache.length
+        self.stats.hits += 1
+        self.stats.tokens_reused += reused
+        # Remembered so checkin can count only the *newly* forwarded tokens
+        # as prefill work (reused positions were never recomputed).
+        cache.pool_reused_tokens = reused
+        return cache, reused
+
+    def checkin(self, prompt_ids: np.ndarray, cache: KVCache) -> None:
+        """Store ``cache`` (holding keys/values of ``prompt_ids[:cache.length]``).
+
+        Most-recently-used entries survive; beyond ``max_entries`` the least
+        recently used entry is evicted.  Checking in under a prompt that is
+        already pooled replaces the old entry (the longer prefill wins).
+        """
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        if cache.length == 0:
+            return
+        if cache.length > len(prompt_ids):
+            raise ValueError(
+                f"cache holds {cache.length} tokens but the prompt has only "
+                f"{len(prompt_ids)}"
+            )
+        ids = prompt_ids[: cache.length].copy()
+        key = self._key(ids)
+        self._entries.pop(key, None)
+        self._entries[key] = _PoolEntry(ids=ids, cache=cache)
+        reused = getattr(cache, "pool_reused_tokens", 0)
+        self.stats.tokens_prefilled += max(int(cache.length) - int(reused), 0)
+        cache.pool_reused_tokens = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1

@@ -1,0 +1,206 @@
+"""Serve-style front door: coalesce pending requests into padded batches.
+
+Consumers (benchmark drivers, notebook sessions, the detection pipeline)
+submit *generate* or *score* requests one at a time; the scheduler queues
+them and, on :meth:`BatchScheduler.flush`, groups compatible generate
+requests into left-padded batches driven through one cache-backed
+:meth:`~repro.models.decoder.DecoderLM.generate_batch` decode loop, and
+routes score requests through a :class:`~repro.models.decoder.PrefixCachedScorer`
+backed by the process-wide :class:`~repro.serving.pool.PrefixCachePool` so
+overlapping prompts share prefills.  Results come back on the request
+handles in submit order.
+
+The scheduler is synchronous: ``flush`` runs the work on the calling thread.
+It models the *batching* half of a serving stack (request coalescing, padded
+batch formation, shared caches) without an event loop, which keeps it
+deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.decoder import DecoderLM, PrefixCachedScorer
+from repro.serving.pool import PrefixCachePool
+from repro.utils.rng import new_rng
+
+__all__ = ["ServingRequest", "SchedulerStats", "BatchScheduler"]
+
+
+@dataclass
+class ServingRequest:
+    """Handle for one submitted request; ``result`` is set by ``flush``."""
+
+    request_id: int
+    kind: str  # "generate" | "score"
+    prompt_ids: np.ndarray
+    max_new_tokens: int = 0
+    temperature: float = 0.0
+    stop_ids: frozenset = frozenset()
+    candidates: tuple = ()
+    done: bool = False
+    result: np.ndarray | None = None
+    #: Error message when the request failed during flush (result stays None).
+    error: str | None = None
+
+    def batch_key(self) -> tuple:
+        """Requests with equal keys may share one padded generate batch."""
+        return (self.max_new_tokens, self.temperature, self.stop_ids)
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing how well requests coalesced into batches."""
+
+    submitted: int = 0
+    flushed: int = 0
+    flushes: int = 0
+    generate_batches: int = 0
+    batch_sizes: list = field(default_factory=list)
+
+    @property
+    def largest_batch(self) -> int:
+        return max(self.batch_sizes) if self.batch_sizes else 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+
+class BatchScheduler:
+    """Coalesce generate/score requests into batched model calls."""
+
+    def __init__(
+        self,
+        model: DecoderLM,
+        *,
+        max_batch_size: int = 8,
+        cache_pool: PrefixCachePool | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.cache_pool = cache_pool or PrefixCachePool.shared(model)
+        self.rng = new_rng(rng)
+        self.stats = SchedulerStats()
+        self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
+        self._pending: list[ServingRequest] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Number of requests queued but not yet flushed."""
+        return len(self._pending)
+
+    def _enqueue(self, request: ServingRequest) -> ServingRequest:
+        self._pending.append(request)
+        self.stats.submitted += 1
+        return request
+
+    def submit_generate(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+    ) -> ServingRequest:
+        """Queue an autoregressive-generation request."""
+        prompt = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        if len(prompt) == 0:
+            raise ValueError("generate requests need a non-empty prompt")
+        if len(prompt) > self.model.config.max_position:
+            # Reject at submit time: batched decoding validates whole padded
+            # batches, so one oversized prompt would otherwise fail all of
+            # its batchmates at flush.
+            raise ValueError(
+                f"prompt of {len(prompt)} tokens exceeds the model's maximum "
+                f"context {self.model.config.max_position}"
+            )
+        request = ServingRequest(
+            request_id=self._next_id,
+            kind="generate",
+            prompt_ids=prompt,
+            max_new_tokens=int(max_new_tokens),
+            temperature=float(temperature),
+            stop_ids=frozenset(stop_ids or ()),
+        )
+        self._next_id += 1
+        return self._enqueue(request)
+
+    def submit_score(
+        self, prompt_ids: np.ndarray, candidates: Sequence[np.ndarray]
+    ) -> ServingRequest:
+        """Queue a candidate-continuation scoring request."""
+        prompt = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        if len(prompt) == 0:
+            raise ValueError("score requests need a non-empty prompt")
+        request = ServingRequest(
+            request_id=self._next_id,
+            kind="score",
+            prompt_ids=prompt,
+            candidates=tuple(np.asarray(c, dtype=np.int64).ravel() for c in candidates),
+        )
+        self._next_id += 1
+        return self._enqueue(request)
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> list[ServingRequest]:
+        """Run every pending request; return the handles in submit order.
+
+        Generate requests whose decoding parameters match are grouped (in
+        submit order) into padded batches of at most ``max_batch_size`` rows
+        and decoded together; score requests run through the pool-backed
+        prefix-cached scorer, so consecutive overlapping prompts — and any
+        prompts overlapping earlier traffic — skip their shared prefill.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return []
+
+        groups: dict[tuple, list[ServingRequest]] = {}
+        for request in pending:
+            if request.kind == "generate":
+                groups.setdefault(request.batch_key(), []).append(request)
+
+        for batch_requests in groups.values():
+            for start in range(0, len(batch_requests), self.max_batch_size):
+                chunk = batch_requests[start : start + self.max_batch_size]
+                try:
+                    outputs = self.model.generate_batch(
+                        [r.prompt_ids for r in chunk],
+                        max_new_tokens=chunk[0].max_new_tokens,
+                        temperature=chunk[0].temperature,
+                        stop_ids=set(chunk[0].stop_ids),
+                        rng=self.rng,
+                    )
+                except Exception as exc:  # a bad request must not strand the rest
+                    for request in chunk:
+                        request.error = str(exc)
+                        request.done = True
+                    continue
+                for request, output in zip(chunk, outputs):
+                    request.result = output
+                    request.done = True
+                self.stats.generate_batches += 1
+                self.stats.batch_sizes.append(len(chunk))
+
+        for request in pending:
+            if request.kind == "score":
+                try:
+                    request.result = self._scorer.score_continuations(
+                        request.prompt_ids, list(request.candidates)
+                    )
+                except Exception as exc:
+                    request.error = str(exc)
+                request.done = True
+
+        self.stats.flushed += len(pending)
+        self.stats.flushes += 1
+        return pending

@@ -1,0 +1,70 @@
+"""Parity/property helpers shared by the optimised-inference test suites.
+
+Optimised inference paths (KV caching, fused projections, left-padded
+batching, pooled prefills) must not drift from the reference semantics:
+robustness work on evaluation harnesses shows such drift creeps in silently
+unless batched == sequential == uncached is pinned by tests.  These helpers
+make those assertions one-liners with informative failure messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["assert_logits_close", "assert_generations_equal"]
+
+#: Default tolerance: float32 accumulation-order differences only.
+RTOL = 1e-5
+ATOL = 1e-5
+
+
+def _as_array(x) -> np.ndarray:
+    """Accept plain arrays or Tensor-likes exposing ``.data``."""
+    return np.asarray(getattr(x, "data", x))
+
+
+def assert_logits_close(actual, expected, *, rtol: float = RTOL, atol: float = ATOL, context: str = "") -> None:
+    """Assert two logit arrays agree to float32 tolerance.
+
+    ``actual``/``expected`` may be NumPy arrays or Tensors.  On failure the
+    message reports the largest absolute deviation and where it occurred.
+    """
+    a, e = _as_array(actual), _as_array(expected)
+    assert a.shape == e.shape, (
+        f"logit shape mismatch{f' ({context})' if context else ''}: "
+        f"{a.shape} vs {e.shape}"
+    )
+    if not np.allclose(a, e, rtol=rtol, atol=atol):
+        diff = np.abs(a - e)
+        worst = np.unravel_index(int(np.argmax(diff)), diff.shape)
+        raise AssertionError(
+            f"logits diverge{f' ({context})' if context else ''}: "
+            f"max |diff| = {diff.max():.3e} at index {worst} "
+            f"(actual={a[worst]:.6f}, expected={e[worst]:.6f}, "
+            f"rtol={rtol}, atol={atol})"
+        )
+
+
+def assert_generations_equal(actual, expected, *, context: str = "") -> None:
+    """Assert two generation results hold exactly the same token sequences.
+
+    Accepts single 1-D token arrays or sequences of them (one per prompt).
+    Generation parity is *exact*: greedy decoding over allclose logits must
+    pick identical tokens, so any mismatch signals a real semantic drift.
+    """
+    def _as_list(x):
+        return [x] if isinstance(x, np.ndarray) and x.ndim == 1 else list(x)
+
+    a_list, e_list = _as_list(actual), _as_list(expected)
+    assert len(a_list) == len(e_list), (
+        f"generation count mismatch{f' ({context})' if context else ''}: "
+        f"{len(a_list)} vs {len(e_list)}"
+    )
+    for i, (a, e) in enumerate(zip(a_list, e_list)):
+        a, e = np.asarray(a), np.asarray(e)
+        if a.shape != e.shape or not np.array_equal(a, e):
+            raise AssertionError(
+                f"generation {i} differs{f' ({context})' if context else ''}:\n"
+                f"  actual   ({len(a)} tokens): {a.tolist()}\n"
+                f"  expected ({len(e)} tokens): {e.tolist()}"
+            )

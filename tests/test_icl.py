@@ -145,21 +145,43 @@ class TestICLEngine:
 
 class TestICLFineTuning:
     def test_finetune_improves_over_raw_prompting(self, registry, small_dataset):
-        """Table III / Table IV claim: fine-tuned ICL beats raw prompting."""
+        """Table III / Table IV claim: fine-tuned ICL beats raw prompting.
+
+        Deterministic by construction (fixed model, data and tuner seeds; the
+        registry derives per-model seeds with a stable digest) and asserted
+        with *margins* rather than knife-edge thresholds: the fine-tuned
+        model must clear both raw prompting and the majority-class baseline
+        by a margin, and must not have collapsed to a single category (the
+        historical failure mode on class-imbalanced training data, addressed
+        by ``balance_classes``).
+        """
         model = registry.load_decoder("gpt2")
         engine = ICLEngine(model, registry.tokenizer)
         test = small_dataset.test.subsample(60, rng=3)
-        before = engine.evaluate(test.records, test.labels(), num_examples=0)
+        labels = test.labels()
+        before = engine.evaluate(test.records, labels, num_examples=0)
         tuner = ICLFineTuner(
             model,
             registry.tokenizer,
-            ICLFineTuneConfig(epochs=5, batch_size=16, quantization_bits=None, seed=0),
+            ICLFineTuneConfig(
+                epochs=12,
+                batch_size=16,
+                quantization_bits=None,
+                seed=1,
+                balance_classes=True,
+            ),
         )
         result = tuner.finetune_split(small_dataset.train, max_records=700)
-        after = engine.evaluate(test.records, test.labels(), num_examples=0)
+        after = engine.evaluate(test.records, labels, num_examples=0)
+        # A collapsed model plateaus at the balanced two-class loss floor
+        # ln(2) ≈ 0.693; genuine learning ends well below it.
         assert result.losses[-1] < result.losses[0]
-        assert after.accuracy >= before.accuracy
-        assert after.accuracy > 0.6
+        assert result.losses[-1] < 0.5
+        majority = float(np.bincount(labels).max()) / len(labels)
+        assert after.accuracy >= before.accuracy + 0.05
+        assert after.accuracy >= majority + 0.1
+        # Non-degenerate: the model actually predicts both categories.
+        assert after.precision > 0.0 and after.recall > 0.0
 
     def test_parameter_summary_reports_reduction(self, registry):
         model = registry.load_decoder("gpt2")

@@ -160,7 +160,7 @@ class TestLoRA:
         model = tiny_decoder()
         total_before = model.num_parameters()
         adapted = apply_lora(model, rank=2, alpha=4, rng=0)
-        assert adapted == model.config.num_layers * 6
+        assert adapted == model.config.num_layers * 4
         summary = lora_parameter_summary(model)
         assert 0 < summary.trainable_parameters < summary.total_parameters
         assert summary.total_parameters > total_before  # adapters add parameters
@@ -205,7 +205,7 @@ class TestQuantization:
     def test_quantize_model_replaces_targets(self):
         model = tiny_decoder()
         replaced = quantize_model(model, bits=4)
-        assert replaced == model.config.num_layers * 6
+        assert replaced == model.config.num_layers * 4
         ids = np.zeros((1, 4), dtype=np.int64)
         assert model(ids).shape == (1, 4, VOCAB)
 
@@ -213,7 +213,7 @@ class TestQuantization:
         model = tiny_decoder()
         quantize_model(model, bits=8)
         adapted = apply_lora(model, rank=2, rng=0)
-        assert adapted == model.config.num_layers * 6
+        assert adapted == model.config.num_layers * 4
         ids = np.zeros((1, 4), dtype=np.int64)
         assert model(ids).shape == (1, 4, VOCAB)
 
