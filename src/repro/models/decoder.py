@@ -12,10 +12,24 @@ forwards of growing length, and candidate scoring reuses one shared-prefix
 forward across all candidates (and, via :class:`PrefixCachedScorer`, across
 successive overlapping prompts).  Cached and uncached paths produce the same
 logits to float32 tolerance.
+
+Batched decoding is built as a *stepping core* rather than a monolithic
+loop: a :class:`DecodeState` carries one request's progress (prompt, emitted
+tokens, sampling parameters, stop/EOS/context status) and a
+:class:`DecodeBatch` holds the live rows — a shared ragged KV cache plus
+padding mask — and advances every row one token per :meth:`DecodeBatch.step`
+(equivalently :meth:`DecoderLM.decode_step`).  Rows are admitted (prefilled)
+and retired *between* steps, which is what iteration-level continuous
+batching (:class:`~repro.serving.ContinuousBatchingEngine`) needs:
+:meth:`DecoderLM.generate_batch` is the fixed-membership convenience wrapper
+over the same core, so there is exactly one batched decode loop in the
+codebase.  Greedy decoding through the core emits the same tokens as the
+sequential cached path regardless of batch membership or admission order.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -26,7 +40,14 @@ from repro.nn.transformer import SinusoidalPositionalEncoding
 from repro.tensor import Tensor, no_grad, functional as F
 from repro.utils.rng import new_rng, spawn_rngs
 
-__all__ = ["DecoderLM", "PrefixCachedScorer", "common_prefix_length", "left_pad_batch"]
+__all__ = [
+    "DecoderLM",
+    "DecodeState",
+    "DecodeBatch",
+    "PrefixCachedScorer",
+    "common_prefix_length",
+    "left_pad_batch",
+]
 
 
 def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
@@ -64,6 +85,323 @@ def left_pad_batch(
         mask[i, pad:] = True
         positions[i, pad:] = np.arange(len(a))
     return ids, mask, positions, lengths
+
+
+@dataclass
+class DecodeState:
+    """Decode progress of one request, independent of any batch shape.
+
+    Holds the request itself (prompt, token budget, sampling parameters) and
+    the mutable decoding state: emitted ids, EOS/stop/context status, and —
+    while the request sits in a live :class:`DecodeBatch` — the row index,
+    the row's first real column in the shared cache (``col_start``), and the
+    pending next-token distribution sampled by the following step.
+    """
+
+    prompt_ids: np.ndarray
+    max_new_tokens: int = 16
+    temperature: float = 0.0
+    stop_ids: frozenset = frozenset()
+    finished: bool = False
+    #: ``"stop"`` (stop token emitted), ``"length"`` (token budget reached)
+    #: or ``"context"`` (model context window reached).
+    finish_reason: str | None = None
+    gen_len: int = 0
+    row: int = -1
+    col_start: int = -1
+    next_log_probs: np.ndarray | None = field(default=None, repr=False)
+    generated: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.prompt_ids = np.asarray(self.prompt_ids, dtype=np.int64).ravel()
+        if len(self.prompt_ids) == 0:
+            raise ValueError("decode requests need a non-empty prompt")
+        self.max_new_tokens = int(self.max_new_tokens)
+        self.stop_ids = frozenset(int(t) for t in (self.stop_ids or ()))
+        if self.generated is None:
+            self.generated = np.zeros(max(self.max_new_tokens, 1), dtype=np.int64)
+
+    @property
+    def position(self) -> int:
+        """Absolute position the next decoded token would occupy."""
+        return len(self.prompt_ids) + self.gen_len
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the request currently occupies a live batch row."""
+        return self.row >= 0
+
+    def output(self) -> np.ndarray:
+        """``prompt + generated`` tokens decoded so far (a fresh array)."""
+        return np.concatenate([self.prompt_ids, self.generated[: self.gen_len]])
+
+
+class DecodeBatch:
+    """Live ragged decode batch: the stepping core of batched generation.
+
+    The batch owns one shared :class:`~repro.nn.KVCache` whose rows are the
+    currently decoding requests, plus the padding mask that keeps each row
+    attending only to its own history.  Rows are stored right-aligned
+    against the live column end (span ``[col_start, cache.length)``), so
+    membership may change *between* steps:
+
+    * :meth:`admit` / :meth:`admit_many` prefill newcomers (optionally
+      reusing a checked-out prefix cache) and splice them into the live
+      batch without touching existing rows;
+    * :meth:`step` samples one token per row, retires rows that finish
+      (stop token, token budget, context limit) immediately, and forwards
+      the survivors' tokens to produce the next distributions;
+    * :meth:`compact` re-aligns the surviving rows after retirements freed
+      columns, so decoding continues past the buffer end that a departed
+      long row left behind.
+
+    Column placement carries no semantics — attention correctness comes from
+    the mask and explicit per-token positions — so greedy outputs are
+    independent of batch membership and admission order.
+    """
+
+    def __init__(
+        self,
+        model: "DecoderLM",
+        capacity: int | None = None,
+        compact_slack: int = 16,
+    ) -> None:
+        capacity = int(capacity or model.config.max_position)
+        if not 0 < capacity <= model.config.max_position:
+            raise ValueError(
+                f"capacity must lie in (0, {model.config.max_position}], got {capacity}"
+            )
+        if compact_slack < 0:
+            raise ValueError(f"compact_slack must be >= 0, got {compact_slack}")
+        self.model = model
+        self.capacity = capacity
+        #: Compact once the live end overhangs the widest row by this many
+        #: columns.  Without it the live end creeps monotonically under
+        #: continuous admission/retirement and every step attends over the
+        #: dead columns departed rows left behind.
+        self.compact_slack = compact_slack
+        # The shared cache starts small and doubles on demand (hard-capped
+        # at ``capacity``): admission/retirement copy whole row buffers, so
+        # their cost must track the live working set, not the model's
+        # maximum context.
+        self.cache = model.make_cache(0, min(capacity, 64))
+        self.states: list[DecodeState] = []
+        self._mask = np.zeros((0, capacity), dtype=bool)
+
+    def _ensure_columns(self, needed: int) -> None:
+        """Grow the allocated cache so ``needed`` columns fit (within capacity)."""
+        if needed > self.capacity:
+            raise ValueError(
+                f"{needed} columns exceed the batch capacity {self.capacity}"
+            )
+        if needed > self.cache.capacity:
+            self.cache.grow(min(self.capacity, max(needed, 2 * self.cache.capacity)))
+
+    @property
+    def num_rows(self) -> int:
+        """Number of live (actively decoding) rows."""
+        return len(self.states)
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def _finish_unstartable(self, state: DecodeState) -> bool:
+        """Finish requests that cannot emit a single token (no row needed)."""
+        if state.max_new_tokens <= 0:
+            state.finished, state.finish_reason = True, "length"
+        elif state.position >= self.model.config.max_position:
+            state.finished, state.finish_reason = True, "context"
+        return state.finished
+
+    def _admit_prefilled_row(
+        self,
+        state: DecodeState,
+        src: KVCache,
+        src_row: int,
+        src_start: int,
+        next_log_probs: np.ndarray,
+    ) -> None:
+        width = src.length - src_start
+        self._ensure_columns(max(width, self.cache.length))
+        if width > self.cache.length and self.states:
+            # Keep the contiguous-span invariant: grow the live end to the
+            # newcomer's width before splicing it in right-aligned.
+            self._realign(width)
+        start = self.cache.admit_row(src, src_row, src_start)
+        state.row = len(self.states)
+        state.col_start = start
+        state.next_log_probs = next_log_probs
+        self.states.append(state)
+        row_mask = np.zeros((1, self.capacity), dtype=bool)
+        row_mask[0, start : self.cache.length] = True
+        self._mask = np.concatenate([self._mask, row_mask], axis=0)
+
+    def admit(self, state: DecodeState, prefill_cache: KVCache | None = None) -> None:
+        """Prefill one request and splice it into the live batch.
+
+        ``prefill_cache`` (optional, batch 1) may already hold keys/values
+        for a prefix of the prompt — e.g. a
+        :class:`~repro.serving.PrefixCachePool` checkout — and only the
+        remainder is forwarded.  On return it holds the full prompt, so the
+        caller can check it back into the pool: the live batch keeps its own
+        copy of the row.  Requests that cannot emit a token (empty budget,
+        prompt at the context limit) finish immediately without a row.
+        """
+        if state.admitted:
+            raise ValueError("state already occupies a live batch row")
+        if len(state.prompt_ids) > self.capacity:
+            raise ValueError(
+                f"prompt of {len(state.prompt_ids)} tokens exceeds the batch "
+                f"capacity {self.capacity}"
+            )
+        if self._finish_unstartable(state):
+            return
+        prompt = state.prompt_ids
+        with no_grad():
+            if prefill_cache is None:
+                prefill_cache = self.model.make_cache(1, len(prompt))
+            # Re-forward at least the last prompt token: its logits seed the
+            # first decode step.
+            past = min(prefill_cache.length, len(prompt) - 1)
+            prefill_cache.truncate(past)
+            logits = self.model.forward_incremental(
+                prompt[None, past:], prefill_cache, last_logits_only=True
+            )
+            log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
+        self._admit_prefilled_row(state, prefill_cache, 0, 0, log_probs)
+
+    def admit_many(self, states: Sequence[DecodeState], pad_id: int = 0) -> None:
+        """Prefill several requests as one left-padded batch, then admit each.
+
+        This is the batch-formation path :meth:`DecoderLM.generate_batch`
+        uses (and the engine's deadline-closed admission groups): one padded
+        forward prefills every startable newcomer, after which each row is
+        spliced into the live batch exactly like a single admission.
+        """
+        for state in states:
+            if state.admitted:
+                raise ValueError("state already occupies a live batch row")
+            if len(state.prompt_ids) > self.capacity:
+                raise ValueError(
+                    f"prompt of {len(state.prompt_ids)} tokens exceeds the batch "
+                    f"capacity {self.capacity}"
+                )
+        todo = [st for st in states if not self._finish_unstartable(st)]
+        if not todo:
+            return
+        ids, prompt_mask, positions, lengths = left_pad_batch(
+            [st.prompt_ids for st in todo], pad_id=pad_id
+        )
+        max_len = int(lengths.max())
+        with no_grad():
+            staging = self.model.make_cache(len(todo), max_len)
+            logits = self.model.forward_incremental(
+                ids,
+                staging,
+                attention_mask=prompt_mask,
+                positions=positions,
+                last_logits_only=True,
+            )
+            log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data
+        for i, st in enumerate(todo):
+            self._admit_prefilled_row(
+                st, staging, i, max_len - int(lengths[i]), log_probs[i]
+            )
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def step(self, rng: np.random.Generator | None = None) -> list[DecodeState]:
+        """One decode iteration over the live batch.
+
+        Samples every row's next token from its pending distribution
+        (greedy rows take the argmax and draw no randomness; sampling rows
+        share one vectorised draw from ``rng``), retires rows that finish,
+        compacts if the departed rows' columns are needed, and runs one
+        cache-backed forward for the survivors.  Returns the states retired
+        by this step.
+        """
+        if not self.states:
+            return []
+        log_probs = np.stack([st.next_log_probs for st in self.states])
+        temperatures = np.array([st.temperature for st in self.states], dtype=np.float64)
+        tokens = self.model._sample_rows(log_probs, temperatures, rng)
+        max_position = self.model.config.max_position
+        for st, token in zip(self.states, tokens):
+            token = int(token)
+            st.generated[st.gen_len] = token
+            st.gen_len += 1
+            st.next_log_probs = None
+            if token in st.stop_ids:
+                st.finished, st.finish_reason = True, "stop"
+            elif st.gen_len >= st.max_new_tokens:
+                st.finished, st.finish_reason = True, "length"
+            elif st.position >= max_position:
+                st.finished, st.finish_reason = True, "context"
+        retired = self.retire_finished()
+        if self.states:
+            widest = max(self.cache.length - st.col_start for st in self.states)
+            if (
+                self.cache.length >= self.cache.capacity
+                or self.cache.length - widest > self.compact_slack
+            ):
+                self.compact()
+            self._ensure_columns(self.cache.length + 1)
+            column = self.cache.length
+            ids = np.array([st.generated[st.gen_len - 1] for st in self.states])
+            positions = np.array([st.position - 1 for st in self.states])
+            self._mask[:, column] = True
+            with no_grad():
+                logits = self.model.forward_incremental(
+                    ids[:, None],
+                    self.cache,
+                    attention_mask=self._mask[:, : column + 1],
+                    positions=positions[:, None],
+                )
+                next_log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data
+            for st, row_log_probs in zip(self.states, next_log_probs):
+                st.next_log_probs = row_log_probs
+        return retired
+
+    def retire_finished(self) -> list[DecodeState]:
+        """Drop finished rows from the live batch (their cache rows are freed)."""
+        retired = [st for st in self.states if st.finished]
+        if not retired:
+            return retired
+        keep = np.array(
+            [i for i, st in enumerate(self.states) if not st.finished], dtype=np.int64
+        )
+        self.cache.retire_rows(keep)
+        self._mask = self._mask[keep]
+        self.states = [st for st in self.states if not st.finished]
+        for row, st in enumerate(self.states):
+            st.row = row
+        for st in retired:
+            st.row = -1
+            st.col_start = -1
+            st.next_log_probs = None
+        return retired
+
+    def _realign(self, new_length: int) -> None:
+        starts = np.array([st.col_start for st in self.states], dtype=np.int64)
+        new_starts = self.cache.realign(starts, new_length)
+        self._mask[:] = False
+        for st, start in zip(self.states, new_starts):
+            st.col_start = int(start)
+            self._mask[st.row, start:new_length] = True
+
+    def compact(self) -> None:
+        """Reclaim dead columns by re-aligning live rows to the widest row.
+
+        Retiring a long row can leave the live end far beyond every
+        survivor's real history; compaction shifts the surviving spans left
+        so decoding can continue past what used to be the buffer end.
+        """
+        if not self.states:
+            self.cache.truncate(0)
+            return
+        widths = [self.cache.length - st.col_start for st in self.states]
+        self._realign(max(widths))
 
 
 class DecoderLM(Module):
@@ -127,6 +465,7 @@ class DecoderLM(Module):
         cache: KVCache,
         attention_mask: np.ndarray | None = None,
         positions: np.ndarray | None = None,
+        last_logits_only: bool = False,
     ) -> Tensor:
         """Forward only the new tokens against the cached history.
 
@@ -137,7 +476,10 @@ class DecoderLM(Module):
         ``(batch, s)``) overrides the absolute position of every new token —
         left-padded batches use it so each row is position-encoded from its
         own first real token.  Returns next-token logits for the new
-        positions only, shape (batch, s, vocab).
+        positions only, shape (batch, s, vocab) — or (batch, 1, vocab) with
+        ``last_logits_only``, which skips the output-vocabulary projection
+        for every position but the last (prefills that only seed a decode
+        loop never read the earlier positions' logits).
         """
         input_ids = np.asarray(input_ids, dtype=np.int64)
         if input_ids.ndim != 2:
@@ -165,6 +507,8 @@ class DecoderLM(Module):
         hidden = self.token_embedding(input_ids) + position_enc
         hidden = self.embedding_dropout(hidden)
         hidden = self.decoder(hidden, attention_mask, cache=cache)
+        if last_logits_only:
+            hidden = hidden[:, -1:, :]
         return hidden.matmul(self.token_embedding.weight.transpose())
 
     # ------------------------------------------------------------------ #
@@ -253,7 +597,9 @@ class DecoderLM(Module):
             # score each candidate's first token) are available.
             past = min(cache.length, len(prompt_ids) - 1)
             cache.truncate(past)
-            prefill = self.forward_incremental(prompt_ids[None, past:], cache)
+            prefill = self.forward_incremental(
+                prompt_ids[None, past:], cache, last_logits_only=True
+            )
             first_log_probs = F.log_softmax(prefill[:, -1, :], axis=-1).data[0]
             scores = np.array(
                 [float(first_log_probs[c[0]]) for c in cand_arrays], dtype=np.float64
@@ -314,7 +660,9 @@ class DecoderLM(Module):
                 1, min(len(prompt) + max_new_tokens, self.config.max_position)
             )
             with no_grad():
-                prefill = self.forward_incremental(prompt[None, :], cache)
+                prefill = self.forward_incremental(
+                    prompt[None, :], cache, last_logits_only=True
+                )
                 log_probs = F.log_softmax(prefill[:, -1, :], axis=-1).data[0]
 
         for step in range(max_new_tokens):
@@ -325,11 +673,7 @@ class DecoderLM(Module):
             if temperature <= 0.0:
                 next_id = int(np.argmax(log_probs))
             else:
-                scaled = log_probs / temperature
-                scaled -= scaled.max()
-                probs = np.exp(scaled)
-                probs /= probs.sum()
-                next_id = int(rng.choice(len(probs), p=probs))
+                next_id = int(self._sample_rows(log_probs[None, :], temperature, rng)[0])
             out[length] = next_id
             length += 1
             log_probs = None
@@ -344,18 +688,36 @@ class DecoderLM(Module):
 
     @staticmethod
     def _sample_rows(
-        log_probs: np.ndarray, temperature: float, rng: np.random.Generator
+        log_probs: np.ndarray,
+        temperature: float | np.ndarray,
+        rng: np.random.Generator | None = None,
     ) -> np.ndarray:
-        """Vectorised next-token choice for a (batch, vocab) log-prob matrix."""
-        if temperature <= 0.0:
-            return np.argmax(log_probs, axis=-1)
-        scaled = log_probs / temperature
+        """Vectorised next-token choice for a (batch, vocab) log-prob matrix.
+
+        ``temperature`` may be a scalar or a per-row array, so rows with
+        different sampling parameters decode in one live batch.  Rows at
+        temperature <= 0 take the argmax and draw no randomness — greedy
+        decoding never consumes from ``rng`` (only then may it be None); the
+        sampling rows share a single vectorised uniform draw, stream-
+        compatible with the historical scalar ``rng.choice`` sampler.
+        """
+        temperatures = np.broadcast_to(
+            np.asarray(temperature, dtype=np.float64), (log_probs.shape[0],)
+        )
+        out = np.argmax(log_probs, axis=-1)
+        hot = temperatures > 0.0
+        if not hot.any():
+            return out
+        if rng is None:
+            raise ValueError("temperature sampling requires an rng")
+        scaled = log_probs[hot] / temperatures[hot, None]
         scaled -= scaled.max(axis=-1, keepdims=True)
         probs = np.exp(scaled)
         probs /= probs.sum(axis=-1, keepdims=True)
         cdf = np.cumsum(probs, axis=-1)
-        u = rng.random((log_probs.shape[0], 1))
-        return np.minimum((cdf < u).sum(axis=-1), log_probs.shape[-1] - 1)
+        u = rng.random((int(hot.sum()), 1))
+        out[hot] = np.minimum((cdf < u).sum(axis=-1), log_probs.shape[-1] - 1)
+        return out
 
     def generate_batch(
         self,
@@ -382,88 +744,58 @@ class DecoderLM(Module):
         Returns one ``prompt + generated`` array per input, in input order.
         ``temperature == 0`` is greedy (deterministic and independent of
         batch composition or ordering); positive temperatures sample each row
-        from its own distribution via one shared generator.
+        from one shared generator, with one vectorised draw per step over the
+        rows still decoding.
+
+        Implemented on the :class:`DecodeBatch` stepping core: all prompts
+        are admitted up front via one padded prefill, rows retire the moment
+        they finish, and the batch compacts when a departed long row's
+        columns are needed — a row near the context limit never truncates
+        its batchmates' generations.
         """
         arrays = [np.asarray(p, dtype=np.int64).ravel() for p in prompts]
         if not arrays:
             return []
         if any(len(a) == 0 for a in arrays):
             raise ValueError("generate_batch requires non-empty prompts")
-        rng = new_rng(rng)
-        stop_ids = stop_ids or set()
-        stop_array = np.array(sorted(stop_ids), dtype=np.int64)
-        batch = len(arrays)
-        lengths = np.array([len(a) for a in arrays], dtype=np.int64)
-        max_len = int(lengths.max())
+        max_len = max(len(a) for a in arrays)
         if max_len > self.config.max_position:
             raise ValueError(
                 f"longest prompt ({max_len}) exceeds the maximum context "
                 f"{self.config.max_position}"
             )
-        capacity = min(max_len + max_new_tokens, self.config.max_position)
-        ids, prompt_mask, positions, _ = left_pad_batch(arrays, pad_id=pad_id)
-        # The mask buffer covers the full decode capacity; generated tokens
-        # flip their column True as they land.
-        mask = np.zeros((batch, capacity), dtype=bool)
-        mask[:, :max_len] = prompt_mask
-
-        gen = np.zeros((batch, max(max_new_tokens, 1)), dtype=np.int64)
-        gen_len = np.zeros(batch, dtype=np.int64)
-        finished = lengths >= self.config.max_position
-        if max_new_tokens <= 0 or bool(finished.all()):
-            return [a.copy() for a in arrays]
-
-        with no_grad():
-            cache = self.make_cache(batch, capacity)
-            prefill = self.forward_incremental(
-                ids, cache, attention_mask=mask[:, :max_len], positions=positions
+        rng = new_rng(rng)
+        capacity = min(max_len + max(max_new_tokens, 0), self.config.max_position)
+        batch = DecodeBatch(self, capacity=capacity)
+        states = [
+            DecodeState(
+                prompt_ids=a,
+                max_new_tokens=max_new_tokens,
+                temperature=temperature,
+                stop_ids=frozenset(stop_ids or ()),
             )
-            log_probs = F.log_softmax(prefill[:, -1, :], axis=-1).data
-
-            for step in range(max_new_tokens):
-                next_ids = self._sample_rows(log_probs, temperature, rng)
-                active = ~finished
-                gen[active, step] = next_ids[active]
-                gen_len[active] = step + 1
-                if len(stop_array):
-                    finished |= active & np.isin(next_ids, stop_array)
-                finished |= lengths + gen_len >= self.config.max_position
-                padded_len = max_len + step + 1  # key length once next_ids lands
-                if bool(finished.all()) or step + 1 >= max_new_tokens:
-                    break
-                if padded_len > self.config.max_position:
-                    # The *padded* batch has hit the context window.  Shorter
-                    # rows may individually still fit; finish them through the
-                    # sequential path so greedy output stays independent of
-                    # batch composition.
-                    for i in np.flatnonzero(~finished):
-                        done_so_far = np.concatenate([arrays[i], gen[i, : gen_len[i]]])
-                        tail = self.generate(
-                            done_so_far,
-                            max_new_tokens=max_new_tokens - int(gen_len[i]),
-                            temperature=temperature,
-                            stop_ids=stop_ids,
-                            rng=rng,
-                        )
-                        extra = tail[len(done_so_far) :]
-                        gen[i, gen_len[i] : gen_len[i] + len(extra)] = extra
-                        gen_len[i] += len(extra)
-                    break
-                mask[:, max_len + step] = active
-                step_positions = np.minimum(
-                    lengths + step, self.config.max_position - 1
-                )[:, None]
-                logits = self.forward_incremental(
-                    next_ids[:, None],
-                    cache,
-                    attention_mask=mask[:, :padded_len],
-                    positions=step_positions,
-                )
-                log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data
-
-        return [
-            np.concatenate([arrays[i], gen[i, : gen_len[i]]]) for i in range(batch)
+            for a in arrays
         ]
+        batch.admit_many(states, pad_id=pad_id)
+        while batch.num_rows:
+            batch.step(rng)
+        return [st.output() for st in states]
+
+    def make_decode_batch(self, capacity: int | None = None) -> DecodeBatch:
+        """A fresh live :class:`DecodeBatch` (the continuous-batching core)."""
+        return DecodeBatch(self, capacity)
+
+    def decode_step(
+        self, batch: DecodeBatch, rng: np.random.Generator | None = None
+    ) -> list[DecodeState]:
+        """Advance a live :class:`DecodeBatch` one iteration.
+
+        One token is sampled for every live row and rows that finish are
+        retired (and returned); admission between calls is the caller's
+        scheduling policy.  This is the single decode-step primitive both
+        :meth:`generate_batch` and the serving engine drive.
+        """
+        return batch.step(rng)
 
     # ------------------------------------------------------------------ #
     def clm_logits(

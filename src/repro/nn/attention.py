@@ -10,6 +10,15 @@ forward pass only has to embed the new tokens (query length ``1..s``) and
 attend against the cached history.  This removes the O(n²·layers) recompute
 from autoregressive generation and lets many requests share one prompt
 prefix.
+
+For continuous batching the cache is no longer a fixed-shape batch: a *live*
+decode batch admits new rows mid-decode (:meth:`KVCache.admit_row`), drops
+finished ones immediately (:meth:`KVCache.retire_rows`), and re-aligns the
+surviving ragged rows to reclaim columns (:meth:`KVCache.realign`).  Rows
+are stored right-aligned against the live end, so a row's filled region is
+always the contiguous column span ``[start, length)``; attention correctness
+is carried by the padding mask plus explicit per-token positions, never by
+column placement.
 """
 
 from __future__ import annotations
@@ -72,6 +81,21 @@ class LayerKVCache:
             raise ValueError(f"cannot truncate cache of length {self.length} to {length}")
         self.length = length
 
+    def grow(self, capacity: int) -> None:
+        """Reallocate to a larger column capacity, preserving the filled region.
+
+        Live decode batches start small and grow on demand so that row
+        admission/retirement copies scale with the working set, not with the
+        model's maximum context.
+        """
+        if capacity <= self.capacity:
+            return
+        for name in ("keys", "values"):
+            old = getattr(self, name)
+            new = np.zeros(old.shape[:2] + (capacity,) + old.shape[3:], dtype=old.dtype)
+            new[:, :, : self.length] = old[:, :, : self.length]
+            setattr(self, name, new)
+
 
 class KVCache:
     """Per-layer key/value cache for a whole decoder stack."""
@@ -106,6 +130,11 @@ class KVCache:
         for layer in self.layers:
             layer.truncate(length)
 
+    def grow(self, capacity: int) -> None:
+        """Reallocate every layer to a larger column capacity (no-op if smaller)."""
+        for layer in self.layers:
+            layer.grow(capacity)
+
     def clone_prefix(self, length: int, capacity: int | None = None) -> "KVCache":
         """Copy of the first ``length`` cached positions; the donor is untouched.
 
@@ -124,6 +153,115 @@ class KVCache:
             dst.values[:, :, :length] = src.values[:, :, :length]
             dst.length = length
         return out
+
+    # ------------------------------------------------------------------ #
+    # live-batch row management (continuous batching)
+    # ------------------------------------------------------------------ #
+    def admit_row(self, src: "KVCache", src_row: int = 0, src_start: int = 0) -> int:
+        """Append one row of ``src`` to this cache, right-aligned at the live end.
+
+        Copies columns ``[src_start, src.length)`` of row ``src_row`` into a
+        freshly grown row of this cache so that the copied span *ends* at the
+        live length (which grows to the span width if the newcomer is longer
+        than the current batch).  Returns the column index of the admitted
+        row's first real token; columns before it belong to other rows'
+        histories and must stay masked for the new row.
+
+        When the newcomer is longer than the live length the caller must
+        first :meth:`realign` the existing rows to the newcomer's width so
+        every row keeps a contiguous filled span ending at ``length``.
+        """
+        if self.layers and src.layers:
+            src_shape = src.layers[0].keys.shape
+            own_shape = self.layers[0].keys.shape
+            if src_shape[1] != own_shape[1] or src_shape[3] != own_shape[3]:
+                raise ValueError("admit_row requires matching head geometry")
+        if len(src.layers) != len(self.layers):
+            raise ValueError(
+                f"admit_row requires matching layer counts "
+                f"({len(src.layers)} vs {len(self.layers)})"
+            )
+        if not 0 <= src_start <= src.length:
+            raise ValueError(f"src_start {src_start} outside filled range [0, {src.length}]")
+        width = src.length - src_start
+        if width > self.length and self.batch_size > 0:
+            raise ValueError(
+                f"admitting a {width}-token row into a length-{self.length} live "
+                f"batch would strand the existing rows: realign them first"
+            )
+        new_length = max(self.length, width)
+        if new_length > self.capacity:
+            raise ValueError(
+                f"admitting a {width}-token row into a length-{self.length} cache "
+                f"exceeds capacity {self.capacity}"
+            )
+        start = new_length - width
+        for own, other in zip(self.layers, src.layers):
+            row = np.zeros((1,) + own.keys.shape[1:], dtype=own.keys.dtype)
+            row_v = np.zeros_like(row)
+            row[0, :, start:new_length] = other.keys[src_row, :, src_start : src.length]
+            row_v[0, :, start:new_length] = other.values[src_row, :, src_start : src.length]
+            own.keys = np.concatenate([own.keys, row], axis=0)
+            own.values = np.concatenate([own.values, row_v], axis=0)
+            own.length = new_length
+        return start
+
+    def retire_rows(self, keep: np.ndarray) -> None:
+        """Drop every row not listed in ``keep`` (order of ``keep`` is preserved).
+
+        ``keep`` is an integer index array into the current batch.  Retiring
+        down to zero rows resets the length so the next admission starts a
+        fresh live batch.
+        """
+        keep = np.asarray(keep, dtype=np.int64).ravel()
+        if keep.size and (keep.min() < 0 or keep.max() >= self.batch_size):
+            raise ValueError(
+                f"row indices {keep.tolist()} outside batch of {self.batch_size}"
+            )
+        for layer in self.layers:
+            layer.keys = layer.keys[keep]
+            layer.values = layer.values[keep]
+            if keep.size == 0:
+                layer.length = 0
+
+    def realign(self, starts: np.ndarray, new_length: int) -> np.ndarray:
+        """Move every row's filled span ``[starts[i], length)`` to end at ``new_length``.
+
+        The two uses are *compaction* (``new_length`` = widest row, freeing
+        the dead columns left behind by retired longer rows) and *growth*
+        (``new_length`` = an incoming row's width, keeping the
+        contiguous-span invariant before :meth:`admit_row`).  Returns the new
+        per-row start columns.
+        """
+        starts = np.asarray(starts, dtype=np.int64).ravel()
+        if starts.size != self.batch_size:
+            raise ValueError(
+                f"realign needs one start per row ({self.batch_size}), got {starts.size}"
+            )
+        if starts.size and (starts.min() < 0 or starts.max() > self.length):
+            raise ValueError(f"row starts {starts.tolist()} outside filled length {self.length}")
+        widths = self.length - starts
+        if int(widths.max(initial=0)) > new_length:
+            raise ValueError(
+                f"new length {new_length} cannot hold the widest row ({int(widths.max())})"
+            )
+        if new_length > self.capacity:
+            raise ValueError(f"new length {new_length} exceeds capacity {self.capacity}")
+        new_starts = new_length - widths
+        length = self.length
+        for layer in self.layers:
+            for i in range(starts.size):
+                if new_starts[i] == starts[i]:
+                    continue
+                # .copy(): source and destination spans may overlap in-buffer.
+                layer.keys[i, :, new_starts[i] : new_length] = layer.keys[
+                    i, :, starts[i] : length
+                ].copy()
+                layer.values[i, :, new_starts[i] : new_length] = layer.values[
+                    i, :, starts[i] : length
+                ].copy()
+            layer.length = new_length
+        return new_starts
 
     def expand(self, batch_size: int, extra_capacity: int = 0) -> "KVCache":
         """Return a new cache with the current contents tiled to ``batch_size``.

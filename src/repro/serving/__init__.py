@@ -1,19 +1,25 @@
-"""Batched serving layer: shared prefix-cache pool and request coalescing.
+"""Batched serving layer: continuous batching, prefix pooling, coalescing.
 
-Built on the incremental-inference subsystem (PR 1), this package provides
-the pieces that turn single-stream inference into a serving stack:
+Built on the incremental-inference subsystem (PR 1) and the decode stepping
+core (:class:`~repro.models.decoder.DecodeBatch`), this package provides the
+pieces that turn single-stream inference into a serving stack:
 
 * :class:`PrefixCachePool` — a process-wide, capacity-bounded LRU pool of
   prompt-prefix KV caches, shared by every scorer/engine/detector built on
   the same model, with hit/miss/eviction statistics.
-* :class:`BatchScheduler` — a serve-style front door that coalesces pending
-  generate/score requests into left-padded batches driven through
-  :meth:`~repro.models.decoder.DecoderLM.generate_batch` and the pooled
-  prefix-cached scorer.
+* :class:`ContinuousBatchingEngine` — the iteration-level decode engine:
+  requests are admitted into the live batch *between* steps (prefilled via
+  the prefix pool), rows retire the moment they finish, freed slots refill
+  from the queue, and every request carries SLA timings (queue, prefill,
+  decode, time-to-first-token).
+* :class:`BatchScheduler` — a serve-style front door that queues
+  generate/score requests and, on ``flush``, drains the generates through
+  the engine and the scores through the pooled prefix-cached scorer.
 """
 
 from repro.serving.pool import PoolStats, PrefixCachePool
 from repro.serving.scheduler import BatchScheduler, SchedulerStats, ServingRequest
+from repro.serving.engine import ContinuousBatchingEngine, EngineRequest, EngineStats
 
 __all__ = [
     "PoolStats",
@@ -21,4 +27,7 @@ __all__ = [
     "BatchScheduler",
     "SchedulerStats",
     "ServingRequest",
+    "ContinuousBatchingEngine",
+    "EngineRequest",
+    "EngineStats",
 ]

@@ -1,0 +1,415 @@
+"""Iteration-level (continuous) batching engine — the Orca/vLLM-style design.
+
+The flush-bounded :class:`~repro.serving.BatchScheduler` of PR 2 decodes a
+*closed* batch to completion: a long generation blocks every batchmate, and
+requests arriving mid-decode wait for the whole batch to drain.  The
+:class:`ContinuousBatchingEngine` schedules at *iteration* granularity
+instead, driving the :class:`~repro.models.decoder.DecodeBatch` stepping
+core directly:
+
+* between any two decode steps, queued requests are admitted into the live
+  batch (up to ``max_batch_rows``): prompts overlapping a pooled prefix are
+  prefilled individually off the shared
+  :class:`~repro.serving.pool.PrefixCachePool` checkout (the advanced
+  full-prompt prefill is checked back in for future traffic), cold prompts
+  share one left-padded batched prefill, and ``min_admit_rows`` groups
+  small admissions so lone stragglers do not pay one prefill forward each;
+* rows retire the moment they emit a stop token, exhaust their token
+  budget, or hit the context window, immediately freeing their slot;
+* when the engine is *idle*, batch formation follows a deadline-based
+  closing policy: decoding starts once ``max_batch_rows`` requests are
+  queued or the oldest request has waited ``admit_deadline`` seconds,
+  whichever comes first (``admit_deadline=0`` starts immediately).
+
+Per-request SLA timings (queue, prefill, decode, time-to-first-token) are
+stamped on every :class:`EngineRequest` from an injectable ``clock`` and
+aggregated in :class:`EngineStats` — which extends the flush-era
+:class:`~repro.serving.scheduler.SchedulerStats`, recording each admission
+group as one "batch" so existing dashboards keep reading.
+
+Greedy outputs are identical to the sequential cached path regardless of
+arrival order or batch membership; per-request sampling parameters
+(temperature, stop ids, token budget) may differ freely within one live
+batch.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.decoder import DecodeBatch, DecodeState, DecoderLM
+from repro.serving.pool import PrefixCachePool
+from repro.serving.scheduler import SchedulerStats
+from repro.utils.rng import new_rng
+
+__all__ = ["EngineRequest", "EngineStats", "ContinuousBatchingEngine"]
+
+
+@dataclass
+class EngineRequest:
+    """Handle for one submitted request, with per-request SLA timings.
+
+    The timing identity ``queue + prefill + decode == wall`` holds exactly:
+    queue time ends when admission starts, prefill time covers the prompt
+    forward, and decode time runs from prefill end to retirement.
+    """
+
+    request_id: int
+    state: DecodeState
+    submitted_at: float
+    admitted_at: float | None = None
+    prefill_seconds: float = 0.0
+    first_token_at: float | None = None
+    finished_at: float | None = None
+    #: Prompt tokens served from the prefix-cache pool instead of prefilled.
+    reused_tokens: int = 0
+    done: bool = False
+    result: np.ndarray | None = None
+    error: str | None = None
+
+    @property
+    def prompt_ids(self) -> np.ndarray:
+        return self.state.prompt_ids
+
+    @property
+    def finish_reason(self) -> str | None:
+        """``"stop"``, ``"length"`` or ``"context"`` once the request is done."""
+        return self.state.finish_reason
+
+    @property
+    def decode_steps(self) -> int:
+        """Engine iterations this request participated in (== tokens emitted)."""
+        return self.state.gen_len
+
+    @property
+    def queue_seconds(self) -> float | None:
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+    @property
+    def decode_seconds(self) -> float | None:
+        if self.finished_at is None or self.admitted_at is None:
+            return None
+        return self.finished_at - self.admitted_at - self.prefill_seconds
+
+    @property
+    def ttft_seconds(self) -> float | None:
+        """Time from submission to the first emitted token."""
+        if self.first_token_at is None:
+            return None
+        return self.first_token_at - self.submitted_at
+
+    @property
+    def wall_seconds(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class EngineStats(SchedulerStats):
+    """Iteration-level counters and SLA aggregates.
+
+    The inherited :class:`SchedulerStats` fields keep their meaning at the
+    engine's granularity: ``generate_batches`` counts admission groups and
+    ``batch_sizes`` their row counts.
+    """
+
+    steps: int = 0
+    admissions: int = 0
+    admitted_rows: int = 0
+    finished: int = 0
+    peak_rows: int = 0
+    #: Sum over steps of live rows that step decoded (batch occupancy).
+    row_steps: int = 0
+    queue_seconds: list = field(default_factory=list)
+    prefill_seconds: list = field(default_factory=list)
+    ttft_seconds: list = field(default_factory=list)
+    decode_steps: list = field(default_factory=list)
+
+    @property
+    def mean_rows_per_step(self) -> float:
+        return self.row_steps / self.steps if self.steps else 0.0
+
+    @property
+    def mean_queue_seconds(self) -> float:
+        return float(np.mean(self.queue_seconds)) if self.queue_seconds else 0.0
+
+    @property
+    def mean_ttft_seconds(self) -> float:
+        return float(np.mean(self.ttft_seconds)) if self.ttft_seconds else 0.0
+
+    def sla_summary(self) -> dict:
+        """Aggregate SLA view (means; per-request values sit on the handles)."""
+        return {
+            "requests": self.finished,
+            "steps": self.steps,
+            "mean_rows_per_step": self.mean_rows_per_step,
+            "peak_rows": self.peak_rows,
+            "mean_queue_seconds": self.mean_queue_seconds,
+            "mean_prefill_seconds": (
+                float(np.mean(self.prefill_seconds)) if self.prefill_seconds else 0.0
+            ),
+            "mean_ttft_seconds": self.mean_ttft_seconds,
+            "mean_decode_steps": (
+                float(np.mean(self.decode_steps)) if self.decode_steps else 0.0
+            ),
+        }
+
+
+class ContinuousBatchingEngine:
+    """Admit-between-steps decode engine over one :class:`DecoderLM`.
+
+    ``submit`` queues a request; ``step`` runs one scheduling iteration
+    (admission + one decode step + retirement) and returns the requests it
+    finished; ``drain`` runs until no work remains (ignoring the admission
+    deadline — everything queued is decoded now) and returns all finished
+    requests in submit order.  The engine is synchronous and reusable: after
+    a drain it sits empty, ready for new traffic.
+    """
+
+    def __init__(
+        self,
+        model: DecoderLM,
+        *,
+        max_batch_rows: int = 8,
+        cache_pool: PrefixCachePool | None = None,
+        admit_deadline: float = 0.0,
+        min_admit_rows: int = 1,
+        clock=time.perf_counter,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_batch_rows <= 0:
+            raise ValueError(f"max_batch_rows must be positive, got {max_batch_rows}")
+        if admit_deadline < 0:
+            raise ValueError(f"admit_deadline must be >= 0, got {admit_deadline}")
+        if not 0 < min_admit_rows <= max_batch_rows:
+            raise ValueError(
+                f"min_admit_rows must lie in [1, max_batch_rows], got {min_admit_rows}"
+            )
+        self.model = model
+        self.max_batch_rows = max_batch_rows
+        self.cache_pool = cache_pool
+        self.admit_deadline = admit_deadline
+        #: Admission-group batching: while the batch is running, hold queued
+        #: requests until this many can be admitted *together*, amortising
+        #: the prefill forward.  1 = admit eagerly.  The hold is bounded: a
+        #: straggler is released after ``min_admit_rows`` held decode steps
+        #: (or past ``admit_deadline``), never starved until the batch
+        #: drains.
+        self.min_admit_rows = min_admit_rows
+        self._held_steps = 0
+        self.clock = clock
+        self.rng = new_rng(rng)
+        self.stats = EngineStats()
+        self.batch = DecodeBatch(model, capacity=model.config.max_position)
+        self._queue: deque[EngineRequest] = deque()
+        self._live: dict[int, EngineRequest] = {}  # id(state) -> request
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def num_active(self) -> int:
+        """Requests currently decoding in the live batch."""
+        return self.batch.num_rows
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue) or self.batch.num_rows > 0
+
+    def submit(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+    ) -> EngineRequest:
+        """Queue a generation request; it joins the live batch between steps."""
+        prompt = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        if len(prompt) == 0:
+            raise ValueError("generate requests need a non-empty prompt")
+        if len(prompt) > self.model.config.max_position:
+            raise ValueError(
+                f"prompt of {len(prompt)} tokens exceeds the model's maximum "
+                f"context {self.model.config.max_position}"
+            )
+        state = DecodeState(
+            prompt_ids=prompt,
+            max_new_tokens=int(max_new_tokens),
+            temperature=float(temperature),
+            stop_ids=frozenset(stop_ids or ()),
+        )
+        request = EngineRequest(
+            request_id=self._next_id, state=state, submitted_at=self.clock()
+        )
+        self._next_id += 1
+        self._queue.append(request)
+        self.stats.submitted += 1
+        return request
+
+    # ------------------------------------------------------------------ #
+    def _admit_group(self, group: list[EngineRequest]) -> list[EngineRequest]:
+        """Prefill one admission group into the live batch.
+
+        Requests whose prompt overlaps a pooled prefix are prefilled
+        individually off the checked-out cache (and the advanced full-prompt
+        prefill is checked back in — the live batch keeps its own row copy);
+        the rest share one left-padded batched prefill.  Returns the
+        requests that finished *during* admission (unstartable: empty token
+        budget / prompt already at the context limit — they take no row).
+        """
+        finished: list[EngineRequest] = []
+        fresh: list[EngineRequest] = []
+        for request in group:
+            request.admitted_at = self.clock()
+            state = request.state
+            prompt = state.prompt_ids
+            startable = (
+                state.max_new_tokens > 0
+                and len(prompt) < self.model.config.max_position
+            )
+            if not startable:
+                self.batch.admit(state)  # finishes immediately, no forward
+                request.prefill_seconds = self.clock() - request.admitted_at
+                self._finish(request)
+                finished.append(request)
+                continue
+            # peek probes without allocating: only prompts with a usable
+            # pooled overlap pay the checkout.
+            if self.cache_pool is not None and self.cache_pool.peek(prompt) > 0:
+                prefill_cache, reused = self.cache_pool.checkout(prompt)
+                request.reused_tokens = reused
+                self.batch.admit(state, prefill_cache=prefill_cache)
+                self.cache_pool.checkin(prompt, prefill_cache)
+                request.prefill_seconds = self.clock() - request.admitted_at
+                self._live[id(state)] = request
+                continue
+            fresh.append(request)
+        if len(fresh) == 1 and self.cache_pool is not None:
+            # A lone pool miss prefills at batch 1 through a checked-out
+            # cache, seeding the pool for future overlapping traffic.
+            request = fresh[0]
+            prefill_cache, _ = self.cache_pool.checkout(request.state.prompt_ids)
+            self.batch.admit(request.state, prefill_cache=prefill_cache)
+            self.cache_pool.checkin(request.state.prompt_ids, prefill_cache)
+            request.prefill_seconds = self.clock() - request.admitted_at
+            self._live[id(request.state)] = request
+        elif fresh:
+            # Several cold prompts share one left-padded batched prefill
+            # (their rows cannot be checked back into the batch-1 pool).
+            self.batch.admit_many([r.state for r in fresh])
+            prefill_end = self.clock()
+            for request in fresh:
+                request.prefill_seconds = prefill_end - request.admitted_at
+                self._live[id(request.state)] = request
+        return finished
+
+    def _finish(self, request: EngineRequest) -> None:
+        request.finished_at = self.clock()
+        request.result = request.state.output()
+        request.done = True
+        self.stats.finished += 1
+        if request.queue_seconds is not None:
+            self.stats.queue_seconds.append(request.queue_seconds)
+        self.stats.prefill_seconds.append(request.prefill_seconds)
+        if request.ttft_seconds is not None:
+            self.stats.ttft_seconds.append(request.ttft_seconds)
+        self.stats.decode_steps.append(request.decode_steps)
+
+    def _admit_pending(self, force: bool) -> list[EngineRequest]:
+        """Admit queued requests into free rows; returns any that finished
+        during admission (unstartable requests take no row)."""
+        if not self._queue:
+            return []
+        if self.batch.num_rows == 0 and not force and self.admit_deadline > 0:
+            # Idle engine: deadline-based batch closing.  Hold the queue open
+            # until it can fill the batch or the oldest request's deadline
+            # lapses, so co-arriving traffic shares one admission group.
+            oldest_wait = self.clock() - self._queue[0].submitted_at
+            if len(self._queue) < self.max_batch_rows and oldest_wait < self.admit_deadline:
+                return []
+        if self.batch.num_rows > 0 and not force and self.min_admit_rows > 1:
+            # Running engine: group small admissions so a stream of lone
+            # arrivals does not pay one prefill forward per request.  The
+            # hold is bounded in *steps* so a straggler joins after at most
+            # min_admit_rows iterations, not when the batch drains.
+            free = self.max_batch_rows - self.batch.num_rows
+            hold_lapsed = self._held_steps >= self.min_admit_rows or (
+                self.admit_deadline > 0
+                and self.clock() - self._queue[0].submitted_at >= self.admit_deadline
+            )
+            if min(free, len(self._queue)) < self.min_admit_rows and not hold_lapsed:
+                self._held_steps += 1
+                return []
+        self._held_steps = 0
+        group: list[EngineRequest] = []
+        while self._queue and self.batch.num_rows + len(group) < self.max_batch_rows:
+            group.append(self._queue.popleft())
+        if not group:
+            return []
+        finished = self._admit_group(group)
+        self.stats.admissions += 1
+        self.stats.admitted_rows += len(group)
+        self.stats.generate_batches += 1
+        self.stats.batch_sizes.append(len(group))
+        self.stats.peak_rows = max(self.stats.peak_rows, self.batch.num_rows)
+        return finished
+
+    def step(self, *, force_admit: bool = False) -> list[EngineRequest]:
+        """One scheduling iteration: admit, decode one step, retire.
+
+        Returns the requests that finished during this iteration.  An idle
+        engine holding requests back under the admission deadline does
+        nothing and returns ``[]`` (``force_admit`` overrides, as
+        :meth:`drain` does).
+        """
+        finished = self._admit_pending(force_admit)
+        if self.batch.num_rows == 0:
+            return finished
+        rows = self.batch.num_rows
+        # Tokens are sampled at the top of the decode step, before the
+        # survivors' forward — stamp first-token times accordingly so TTFT
+        # does not absorb the next step's compute.
+        sampled_at = self.clock()
+        retired = self.batch.step(self.rng)
+        self.stats.steps += 1
+        self.stats.row_steps += rows
+        for state in retired:
+            request = self._live.pop(id(state))
+            if request.first_token_at is None and state.gen_len > 0:
+                request.first_token_at = sampled_at
+            self._finish(request)
+            finished.append(request)
+        for request in self._live.values():
+            if request.first_token_at is None and request.state.gen_len > 0:
+                request.first_token_at = sampled_at
+        return finished
+
+    def reset(self) -> None:
+        """Drop all queued and live work (recovery after a fatal step error)."""
+        self._queue.clear()
+        self._live.clear()
+        self._held_steps = 0
+        self.batch = DecodeBatch(self.model, capacity=self.model.config.max_position)
+
+    def drain(self) -> list[EngineRequest]:
+        """Run scheduling iterations until queue and live batch are empty.
+
+        The admission deadline is bypassed — a drain means "decode
+        everything queued, now".  Returns the finished requests in submit
+        order.
+        """
+        finished: list[EngineRequest] = []
+        while self.has_work:
+            finished.extend(self.step(force_admit=True))
+        return sorted(finished, key=lambda r: r.request_id)

@@ -124,6 +124,23 @@ class PrefixCachePool:
         self._entries.clear()
 
     # ------------------------------------------------------------------ #
+    def peek(self, prompt_ids: np.ndarray) -> int:
+        """Longest usable pooled overlap with ``prompt_ids`` — no side effects.
+
+        Returns the number of tokens a :meth:`checkout` would reuse, or 0
+        when every overlap is below the ``min_reuse_tokens`` floor.  Unlike
+        ``checkout`` it neither allocates a cache, mutates the LRU order,
+        nor counts toward the hit/miss statistics, so callers (e.g. the
+        continuous-batching engine sorting an admission group into pooled
+        and cold prefills) can probe cheaply.
+        """
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        best = 0
+        for entry in self._entries.values():
+            common = common_prefix_length(entry.ids, prompt_ids)
+            best = max(best, min(common, entry.cache.length))
+        return best if best >= self.min_reuse_tokens else 0
+
     def checkout(self, prompt_ids: np.ndarray) -> tuple[KVCache, int]:
         """Return ``(cache, reused_tokens)`` for scoring/extending ``prompt_ids``.
 

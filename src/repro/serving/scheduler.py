@@ -1,19 +1,26 @@
-"""Serve-style front door: coalesce pending requests into padded batches.
+"""Serve-style front door: coalesce pending requests onto the decode engine.
 
 Consumers (benchmark drivers, notebook sessions, the detection pipeline)
 submit *generate* or *score* requests one at a time; the scheduler queues
-them and, on :meth:`BatchScheduler.flush`, groups compatible generate
-requests into left-padded batches driven through one cache-backed
-:meth:`~repro.models.decoder.DecoderLM.generate_batch` decode loop, and
-routes score requests through a :class:`~repro.models.decoder.PrefixCachedScorer`
-backed by the process-wide :class:`~repro.serving.pool.PrefixCachePool` so
-overlapping prompts share prefills.  Results come back on the request
-handles in submit order.
+them and, on :meth:`BatchScheduler.flush`, feeds every pending generate
+request to a :class:`~repro.serving.engine.ContinuousBatchingEngine` and
+drains it — the engine admits up to ``max_batch_size`` rows at a time,
+retires each row the moment it finishes, and refills the freed slots from
+the queue, so requests with different token budgets, temperatures or stop
+sets share one live batch instead of being split into per-parameter padded
+batches.  Score requests run through a
+:class:`~repro.models.decoder.PrefixCachedScorer` backed by the same
+process-wide :class:`~repro.serving.pool.PrefixCachePool`, so generate
+prefills, score prefills and streaming detectors all reuse each other's
+overlapping prompt work.  Results come back on the request handles in
+submit order.
 
 The scheduler is synchronous: ``flush`` runs the work on the calling thread.
-It models the *batching* half of a serving stack (request coalescing, padded
-batch formation, shared caches) without an event loop, which keeps it
-deterministic and testable.
+It models the *batching* half of a serving stack (request coalescing,
+iteration-level admission, shared caches) without an event loop, which
+keeps it deterministic and testable; :attr:`BatchScheduler.engine` exposes
+the underlying engine (and its per-request SLA stats) for callers that want
+to drive admission step by step.
 """
 
 from __future__ import annotations
@@ -46,14 +53,16 @@ class ServingRequest:
     #: Error message when the request failed during flush (result stays None).
     error: str | None = None
 
-    def batch_key(self) -> tuple:
-        """Requests with equal keys may share one padded generate batch."""
-        return (self.max_new_tokens, self.temperature, self.stop_ids)
 
 
 @dataclass
 class SchedulerStats:
-    """Counters describing how well requests coalesced into batches."""
+    """Counters describing how well requests coalesced into batches.
+
+    With the continuous engine a "batch" is one *admission group* — the
+    rows admitted together into the live batch between two decode steps —
+    rather than a closed padded batch decoded to completion.
+    """
 
     submitted: int = 0
     flushed: int = 0
@@ -71,7 +80,7 @@ class SchedulerStats:
 
 
 class BatchScheduler:
-    """Coalesce generate/score requests into batched model calls."""
+    """Coalesce generate/score requests onto the continuous decode engine."""
 
     def __init__(
         self,
@@ -81,6 +90,9 @@ class BatchScheduler:
         cache_pool: PrefixCachePool | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> None:
+        # Deferred import: the engine module subclasses SchedulerStats.
+        from repro.serving.engine import ContinuousBatchingEngine
+
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         self.model = model
@@ -88,6 +100,14 @@ class BatchScheduler:
         self.cache_pool = cache_pool or PrefixCachePool.shared(model)
         self.rng = new_rng(rng)
         self.stats = SchedulerStats()
+        #: The iteration-level decode engine every generate request runs on;
+        #: shares this scheduler's rng stream and prefix-cache pool.
+        self.engine = ContinuousBatchingEngine(
+            model,
+            max_batch_rows=max_batch_size,
+            cache_pool=self.cache_pool,
+            rng=self.rng,
+        )
         self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
         self._pending: list[ServingRequest] = []
         self._next_id = 0
@@ -154,42 +174,45 @@ class BatchScheduler:
     def flush(self) -> list[ServingRequest]:
         """Run every pending request; return the handles in submit order.
 
-        Generate requests whose decoding parameters match are grouped (in
-        submit order) into padded batches of at most ``max_batch_size`` rows
-        and decoded together; score requests run through the pool-backed
-        prefix-cached scorer, so consecutive overlapping prompts — and any
-        prompts overlapping earlier traffic — skip their shared prefill.
+        Generate requests are fed to the continuous engine in submit order
+        and drained: the engine admits up to ``max_batch_size`` rows,
+        retires finished rows immediately and refills the freed slots, so
+        mixed decoding parameters share one live batch.  Score requests run
+        through the pool-backed prefix-cached scorer, so consecutive
+        overlapping prompts — and any prompts overlapping earlier traffic —
+        skip their shared prefill.
         """
         pending, self._pending = self._pending, []
         if not pending:
             return []
 
-        groups: dict[tuple, list[ServingRequest]] = {}
-        for request in pending:
-            if request.kind == "generate":
-                groups.setdefault(request.batch_key(), []).append(request)
-
-        for batch_requests in groups.values():
-            for start in range(0, len(batch_requests), self.max_batch_size):
-                chunk = batch_requests[start : start + self.max_batch_size]
-                try:
-                    outputs = self.model.generate_batch(
-                        [r.prompt_ids for r in chunk],
-                        max_new_tokens=chunk[0].max_new_tokens,
-                        temperature=chunk[0].temperature,
-                        stop_ids=set(chunk[0].stop_ids),
-                        rng=self.rng,
-                    )
-                except Exception as exc:  # a bad request must not strand the rest
-                    for request in chunk:
-                        request.error = str(exc)
-                        request.done = True
-                    continue
-                for request, output in zip(chunk, outputs):
-                    request.result = output
+        generates = [r for r in pending if r.kind == "generate"]
+        if generates:
+            batches_before = len(self.engine.stats.batch_sizes)
+            handles = [
+                self.engine.submit(
+                    r.prompt_ids,
+                    max_new_tokens=r.max_new_tokens,
+                    temperature=r.temperature,
+                    stop_ids=set(r.stop_ids),
+                )
+                for r in generates
+            ]
+            try:
+                self.engine.drain()
+                for request, handle in zip(generates, handles):
+                    request.result = handle.result
+                    request.error = handle.error
                     request.done = True
-                self.stats.generate_batches += 1
-                self.stats.batch_sizes.append(len(chunk))
+            except Exception as exc:  # a bad request must not strand the rest
+                for request, handle in zip(generates, handles):
+                    request.result = handle.result
+                    request.error = handle.error if handle.done else str(exc)
+                    request.done = True
+                self.engine.reset()
+            admission_sizes = self.engine.stats.batch_sizes[batches_before:]
+            self.stats.generate_batches += len(admission_sizes)
+            self.stats.batch_sizes.extend(admission_sizes)
 
         for request in pending:
             if request.kind == "score":

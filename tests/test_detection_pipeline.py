@@ -77,6 +77,34 @@ class TestOnlineDetection:
         assert prediction.label_name in ("LABEL_0", "LABEL_1")
         assert 0.0 <= prediction.score <= 1.0
 
+    def test_stream_batch_coalesces_steps_and_matches_per_record(
+        self, fitted_detector, small_dataset, monkeypatch
+    ):
+        """One encoder batch per arrival step; predictions match ``stream``."""
+        records = small_dataset.test.records[:6]
+        online = fitted_detector.online
+        calls = []
+        original = online.trainer.predict_proba
+
+        def counting(sentences, *args, **kwargs):
+            calls.append(len(sentences))
+            return original(sentences, *args, **kwargs)
+
+        monkeypatch.setattr(online.trainer, "predict_proba", counting)
+        batched = online.stream_batch(records)
+        # Coalesced: one call per step over all records, not records × steps.
+        assert len(calls) == len(FEATURE_ORDER)
+        assert all(size == len(records) for size in calls)
+        sequential = [list(online.stream(r)) for r in records]
+        for batch_stream, seq_stream in zip(batched, sequential):
+            assert [p.label for p in batch_stream] == [p.label for p in seq_stream]
+            assert [p.sentence for p in batch_stream] == [p.sentence for p in seq_stream]
+            assert [p.latest_feature for p in batch_stream] == [
+                p.latest_feature for p in seq_stream
+            ]
+            for b, s in zip(batch_stream, seq_stream):
+                assert abs(b.score - s.score) < 1e-5
+
     def test_detect_returns_first_anomalous_flag_or_none(self, fitted_detector, small_dataset):
         online = fitted_detector.online
         anomalous = next(r for r in small_dataset.test.records if r.label == 1)

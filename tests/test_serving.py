@@ -9,8 +9,10 @@ Pins the serving-subsystem invariants:
   greedy decoding is deterministic under batch reordering;
 * the LRU :class:`~repro.serving.PrefixCachePool` counts hits/misses,
   bounds its capacity via eviction, and pooled scoring matches unpooled;
-* the :class:`~repro.serving.BatchScheduler` returns results in submit
-  order that match direct model calls.
+* the :class:`~repro.serving.BatchScheduler` — now a front door over the
+  continuous-batching engine — returns results in submit order that match
+  direct model calls, with admission groups bounded by ``max_batch_size``
+  (engine-level invariants live in ``test_continuous_batching.py``).
 """
 
 from __future__ import annotations
@@ -336,17 +338,33 @@ class TestBatchScheduler:
             context="scheduler score",
         )
 
-    def test_batches_respect_max_batch_size_and_param_groups(self, model, ragged_prompts):
+    def test_admission_groups_respect_max_batch_size_and_refill(self, model, ragged_prompts):
+        """Mixed decode parameters share one live batch; slots refill on retirement.
+
+        Six requests against three rows: the engine admits 3, decodes them to
+        completion (mnt=4), then refills all three freed slots in one second
+        admission group — the mnt=9 request no longer needs a private batch.
+        """
         scheduler = BatchScheduler(
             model, max_batch_size=3, cache_pool=PrefixCachePool(model, max_entries=4)
         )
-        for p in ragged_prompts[:5]:
-            scheduler.submit_generate(p, max_new_tokens=4)
-        scheduler.submit_generate(ragged_prompts[5], max_new_tokens=9)  # own group
+        requests = [
+            scheduler.submit_generate(p, max_new_tokens=4) for p in ragged_prompts[:5]
+        ]
+        requests.append(scheduler.submit_generate(ragged_prompts[5], max_new_tokens=9))
         scheduler.flush()
-        assert scheduler.stats.generate_batches == 3  # 3 + 2 + 1
-        assert sorted(scheduler.stats.batch_sizes) == [1, 2, 3]
+        assert scheduler.stats.generate_batches == 2  # two admission groups
+        assert scheduler.stats.batch_sizes == [3, 3]
         assert scheduler.stats.largest_batch == 3
+        # 4 steps for the first wave, then the refilled wave runs 9 more
+        # (its two mnt=4 rows retire mid-wave) — not 4 + 4 + 9 serial.
+        assert scheduler.engine.stats.steps == 13
+        expected = [
+            model.generate(p, max_new_tokens=4) for p in ragged_prompts[:5]
+        ] + [model.generate(ragged_prompts[5], max_new_tokens=9)]
+        assert_generations_equal(
+            [r.result for r in requests], expected, context="mixed-budget flush"
+        )
 
     def test_flush_empty_and_validation(self, model):
         scheduler = BatchScheduler(model)
