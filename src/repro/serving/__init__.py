@@ -12,14 +12,19 @@ pieces that turn single-stream inference into a serving stack:
   the prefix pool), rows retire the moment they finish, freed slots refill
   from the queue, and every request carries SLA timings (queue, prefill,
   decode, time-to-first-token).
-* :class:`BatchScheduler` — a serve-style front door that queues
-  generate/score requests and, on ``flush``, drains the generates through
-  the engine and the scores through the pooled prefix-cached scorer.
+* :class:`AsyncEngine` — the arrival-driven async front-end: a background
+  stepping thread owns the engine, clients get a future per request
+  (``submit``), awaitables (``generate``/``score``), per-request token
+  streams, cancellation and timeouts, and drain/abort shutdown.
+* :class:`BatchScheduler` — a thin sync adapter: queues generate/score
+  requests and, on ``flush``, submits them to the async engine in one
+  atomic batch and blocks on the futures.
 """
 
 from repro.serving.pool import PoolStats, PrefixCachePool
 from repro.serving.scheduler import BatchScheduler, SchedulerStats, ServingRequest
 from repro.serving.engine import ContinuousBatchingEngine, EngineRequest, EngineStats
+from repro.serving.aio import AsyncEngine, AsyncRequest, RequestCancelled, RequestTimeout
 
 __all__ = [
     "PoolStats",
@@ -30,4 +35,8 @@ __all__ = [
     "ContinuousBatchingEngine",
     "EngineRequest",
     "EngineStats",
+    "AsyncEngine",
+    "AsyncRequest",
+    "RequestCancelled",
+    "RequestTimeout",
 ]

@@ -1,0 +1,827 @@
+"""Async serving front-end: an event loop over the continuous-batching engine.
+
+The :class:`~repro.serving.engine.ContinuousBatchingEngine` schedules at
+iteration level but is driven synchronously — callers must pre-collect
+requests and drain.  :class:`AsyncEngine` turns it into an arrival-driven
+server: a background *stepping thread* owns the engine and loops
+``admit -> decode one step -> retire``; clients submit from any thread (or
+any asyncio event loop) and get a future per request.  Requests arriving
+mid-decode join the live batch at the next step boundary — exactly the
+traffic shape the engine's admission policy was designed for.
+
+Threading / locking contract
+----------------------------
+
+The design work here is keeping the :class:`~repro.models.decoder
+.DecodeBatch` single-threaded while submissions come from anywhere:
+
+* **Only the stepping thread touches the model or mutates the engine.**
+  Admission, prefill, decode steps, retirement, cancellation, and the
+  pool-backed scorer all run on it, so ``DecodeBatch``/``KVCache`` buffers
+  never see concurrent mutation.
+* **Submitters only enqueue.**  ``submit``/``submit_score`` validate the
+  request, append it to an inbox deque under the engine lock, and notify
+  the stepping thread's condition variable.  They never call into the
+  engine.
+* **Wakeups are arrival-driven, not polled.**  With no queued work and an
+  empty batch the stepping thread parks on the condition variable
+  (``EngineStats.parks``/``wakeups`` count park/wake cycles); a submission,
+  cancellation, or shutdown wakes it.  The only timed waits are for real
+  deadlines: an idle engine holding arrivals under ``admit_deadline`` and
+  per-request timeouts.
+* **Cancellation is a flag, retirement is the stepping thread's.**
+  ``AsyncRequest.cancel()`` (or an expired per-request ``timeout``, or the
+  awaiting asyncio task being cancelled) marks the request; at the next
+  step boundary the stepping thread retires the row via
+  :meth:`ContinuousBatchingEngine.cancel`, reclaiming its KV-cache row.
+  A cancel racing natural retirement is a no-op.
+
+Streaming and shutdown
+----------------------
+
+Each request can be consumed incrementally: :meth:`AsyncRequest.tokens`
+returns an async iterator fed by the stepping thread through
+``loop.call_soon_threadsafe`` (tokens emitted before subscription are
+replayed first).  :meth:`AsyncEngine.shutdown` supports two modes —
+``drain=True`` stops accepting new work, finishes everything queued and
+live, then joins the thread; ``drain=False`` (abort) cancels all pending
+work at the next step boundary.  Both leave every future resolved.
+
+Greedy outputs are identical to the sequential cached path regardless of
+how many clients submit concurrently or how arrivals interleave with
+decoding — pinned by ``tests/test_async_serving.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import weakref
+from collections import deque
+from concurrent.futures import Future
+from typing import AsyncIterator, Callable, Sequence
+
+import numpy as np
+
+from repro.models.decoder import DecoderLM, PrefixCachedScorer
+from repro.serving.engine import (
+    ContinuousBatchingEngine,
+    EngineRequest,
+    EngineStats,
+    validate_prompt,
+)
+from repro.serving.pool import PrefixCachePool
+from repro.utils.rng import new_rng
+
+__all__ = ["RequestCancelled", "RequestTimeout", "AsyncRequest", "AsyncEngine"]
+
+#: Sentinel closing a token stream.
+_END = object()
+
+#: Bounded park cadence.  The stepping thread's condition-variable wait is
+#: capped so the trampoline below can periodically drop its strong
+#: reference: an AsyncEngine abandoned without ``shutdown()`` becomes
+#: garbage-collectable (and its thread exits) within about a heartbeat,
+#: instead of a parked thread pinning the engine and its KV state forever.
+#: Wakeups remain arrival-driven — the heartbeat only services GC.
+_GC_PARK_SECONDS = 1.0
+
+
+def _stepper(engine_ref: "weakref.ref[AsyncEngine]") -> None:
+    """Stepping-thread trampoline: strong engine reference only per iteration."""
+    while True:
+        engine = engine_ref()
+        if engine is None:
+            return
+        alive = engine._loop_once()
+        del engine
+        if not alive:
+            return
+
+
+class RequestCancelled(Exception):
+    """The request was cancelled before finishing its token budget.
+
+    ``partial`` holds the tokens decoded before cancellation (prompt
+    included), mirroring :attr:`EngineRequest.result` of a natural finish.
+    """
+
+    def __init__(self, request_id: int, partial: np.ndarray) -> None:
+        super().__init__(f"request {request_id} cancelled")
+        self.request_id = request_id
+        self.partial = partial
+
+
+class RequestTimeout(Exception):
+    """The request's per-request deadline expired before it finished.
+
+    ``partial`` holds the tokens decoded before expiry (prompt included;
+    just the prompt when the request timed out while still queued).
+    """
+
+    def __init__(self, request_id: int, partial: np.ndarray) -> None:
+        super().__init__(f"request {request_id} timed out")
+        self.request_id = request_id
+        self.partial = partial
+
+
+class AsyncRequest:
+    """Handle for one submission to an :class:`AsyncEngine`.
+
+    ``future`` is a :class:`concurrent.futures.Future` resolving to the
+    generated ids (``prompt + generated``, like
+    :attr:`EngineRequest.result`) for generate requests, or the candidate
+    log-probabilities for score requests.  Cancellation and timeouts
+    surface as :class:`RequestCancelled` / :class:`RequestTimeout`.
+
+    The handle can be consumed from sync code (:meth:`result`), awaited
+    from asyncio (``await request``), or streamed token by token
+    (:meth:`tokens`).
+    """
+
+    def __init__(self, engine: "AsyncEngine", request_id: int, kind: str) -> None:
+        self._engine = engine
+        self.request_id = request_id
+        self.kind = kind  # "generate" | "score"
+        self.future: Future = Future()
+        #: Absolute engine-clock deadline, or None for no timeout.
+        self.deadline: float | None = None
+        #: Set once the stepping thread hands the request to the inner engine.
+        self.engine_request: EngineRequest | None = None
+        self._cancel_requested = False
+        self._published = 0
+        #: Engine-clock arrival time, stamped at registration; passed to the
+        #: inner engine so inbox dwell counts toward queue/TTFT SLA timings.
+        self.submitted_at: float | None = None
+        self._subscribers: list[tuple[asyncio.AbstractEventLoop, asyncio.Queue]] = []
+        # Spec fields, filled by the engine's submit methods.
+        self.prompt_ids: np.ndarray | None = None
+        self.max_new_tokens: int = 0
+        self.temperature: float = 0.0
+        self.stop_ids: frozenset = frozenset()
+        self.candidates: tuple = ()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_requested
+
+    @property
+    def finish_reason(self) -> str | None:
+        if self.engine_request is not None:
+            return self.engine_request.finish_reason
+        if self.future.cancelled():
+            return "cancelled"
+        if self.future.done():
+            exc = self.future.exception()
+            if isinstance(exc, RequestCancelled):
+                return "cancelled"
+            if isinstance(exc, RequestTimeout):
+                return "timeout"
+        return None
+
+    def partial_output(self) -> np.ndarray:
+        """Tokens decoded so far (prompt included) — safe to call any time."""
+        if self.engine_request is not None:
+            return self.engine_request.state.output()
+        return np.asarray(self.prompt_ids, dtype=np.int64)
+
+    def cancel(self) -> bool:
+        """Request cancellation; the row retires at the next step boundary.
+
+        Returns ``True`` if the cancellation was registered, ``False`` if
+        the request had already finished (its result stands — cancelling a
+        finished request is a no-op, racing retirement is safe).
+        """
+        with self._engine._work:
+            if self.future.done():
+                return False
+            self._cancel_requested = True
+            self._engine._work.notify_all()
+        return True
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until done and return the result (sync counterpart of await)."""
+        return self.future.result(timeout)
+
+    def __await__(self):
+        return asyncio.wrap_future(self.future).__await__()
+
+    # ------------------------------------------------------------------ #
+    async def tokens(self) -> AsyncIterator[int]:
+        """Async iterator over this request's *generated* token ids.
+
+        Tokens emitted before subscription are replayed first; afterwards
+        each decode step delivers new tokens through the subscriber's event
+        loop.  The iterator ends when the request finishes; cancellation
+        and timeout raise :class:`RequestCancelled` / :class:`RequestTimeout`
+        after the tokens decoded so far have been delivered.
+        """
+        if self.kind != "generate":
+            raise TypeError("only generate requests stream tokens")
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        self._engine._subscribe(self, loop, queue)
+        try:
+            while True:
+                item = await queue.get()
+                if item is _END:
+                    if self.future.cancelled():
+                        raise RequestCancelled(self.request_id, self.partial_output())
+                    exc = self.future.exception() if self.future.done() else None
+                    if exc is not None:
+                        raise exc
+                    return
+                yield item
+        finally:
+            # An abandoned stream (consumer loop gone, generator closed)
+            # must not stay subscribed: the stepping thread would keep
+            # publishing into a dead event loop.
+            self._engine._unsubscribe(self, loop, queue)
+
+
+class AsyncEngine:
+    """Arrival-driven async front-end over one continuous-batching engine.
+
+    Wraps a :class:`ContinuousBatchingEngine` (exposed as :attr:`engine`)
+    plus a pool-backed :class:`~repro.models.decoder.PrefixCachedScorer`
+    behind a background stepping thread.  Construction is cheap — the
+    thread starts lazily on the first submission and parks whenever there
+    is no work.
+
+    ``on_step`` (optional) is called by the stepping thread after every
+    completed scheduling iteration with the engine as argument — an
+    observation/throttling hook used by tests to control interleaving
+    deterministically.
+    """
+
+    def __init__(
+        self,
+        model: DecoderLM,
+        *,
+        max_batch_rows: int = 8,
+        cache_pool: PrefixCachePool | None = None,
+        admit_deadline: float = 0.0,
+        min_admit_rows: int = 1,
+        clock=time.perf_counter,
+        rng: np.random.Generator | int | None = None,
+        on_step: Callable[["AsyncEngine"], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.cache_pool = cache_pool or PrefixCachePool.shared(model)
+        self.clock = clock
+        self.rng = new_rng(rng)
+        self.engine = ContinuousBatchingEngine(
+            model,
+            max_batch_rows=max_batch_rows,
+            cache_pool=self.cache_pool,
+            admit_deadline=admit_deadline,
+            min_admit_rows=min_admit_rows,
+            clock=clock,
+            rng=self.rng,
+        )
+        self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
+        self.on_step = on_step
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._inbox: deque[AsyncRequest] = deque()
+        self._scores: deque[AsyncRequest] = deque()
+        #: Generate requests handed to the inner engine and not yet resolved,
+        #: keyed by the inner EngineRequest's id.
+        self._active: dict[int, AsyncRequest] = {}
+        self._closing: str | None = None  # None | "drain" | "abort"
+        self._thread: threading.Thread | None = None
+        self._parked = False
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> EngineStats:
+        """The inner engine's stats (SLA timings plus async counters)."""
+        return self.engine.stats
+
+    @property
+    def num_pending(self) -> int:
+        """Requests submitted but not yet resolved (inbox + queued + live)."""
+        with self._lock:
+            return len(self._inbox) + len(self._scores) + len(self._active)
+
+    @property
+    def closed(self) -> bool:
+        return self._closing is not None
+
+    # ------------------------------------------------------------------ #
+    # submission (any thread)
+    # ------------------------------------------------------------------ #
+    def _build_request(self, spec: dict) -> AsyncRequest:
+        """Construct and validate one request from :meth:`submit` kwargs.
+
+        The single construction/validation path shared by ``submit``,
+        ``submit_score`` and ``submit_batch``; the request id is assigned
+        at registration.
+        """
+        spec = dict(spec)
+        kind = spec.pop("kind", "generate")
+        request = AsyncRequest(self, -1, kind)
+        if kind == "score":
+            prompt = np.asarray(spec["prompt_ids"], dtype=np.int64).ravel()
+            if len(prompt) == 0:
+                raise ValueError("score requests need a non-empty prompt")
+            request.prompt_ids = prompt
+            request.candidates = tuple(
+                np.asarray(c, dtype=np.int64).ravel() for c in spec["candidates"]
+            )
+        elif kind == "generate":
+            request.prompt_ids = validate_prompt(self.model, spec["prompt_ids"])
+            request.max_new_tokens = int(spec.get("max_new_tokens", 16))
+            request.temperature = float(spec.get("temperature", 0.0))
+            request.stop_ids = frozenset(spec.get("stop_ids") or ())
+        else:
+            raise ValueError(f"unknown request kind {kind!r}")
+        timeout = spec.get("timeout")
+        if timeout is not None:
+            request.deadline = self.clock() + float(timeout)
+        return request
+
+    def _register(self, requests: Sequence[AsyncRequest]) -> None:
+        """Atomically enqueue built requests and wake the stepping thread."""
+        with self._work:
+            if self._closing is not None:
+                raise RuntimeError("AsyncEngine is shut down; create a new one")
+            arrived = self.clock()
+            for request in requests:
+                request.request_id = self._next_id
+                self._next_id += 1
+                request.submitted_at = arrived
+                if request.kind == "score":
+                    self._scores.append(request)
+                else:
+                    self._inbox.append(request)
+            self._ensure_thread()
+            self._work.notify_all()
+
+    def submit(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+        timeout: float | None = None,
+    ) -> AsyncRequest:
+        """Queue a generation request; returns immediately with a future."""
+        request = self._build_request(
+            {
+                "prompt_ids": prompt_ids,
+                "max_new_tokens": max_new_tokens,
+                "temperature": temperature,
+                "stop_ids": stop_ids,
+                "timeout": timeout,
+            }
+        )
+        self._register([request])
+        return request
+
+    def submit_score(
+        self,
+        prompt_ids: np.ndarray,
+        candidates: Sequence[np.ndarray],
+        *,
+        timeout: float | None = None,
+    ) -> AsyncRequest:
+        """Queue a candidate-continuation scoring request."""
+        request = self._build_request(
+            {
+                "kind": "score",
+                "prompt_ids": prompt_ids,
+                "candidates": candidates,
+                "timeout": timeout,
+            }
+        )
+        self._register([request])
+        return request
+
+    def submit_batch(self, specs: Sequence[dict]) -> list[AsyncRequest]:
+        """Atomically queue several requests (one lock round, one wakeup).
+
+        Each spec is a dict of :meth:`submit` keyword arguments (score
+        requests use ``{"kind": "score", "prompt_ids": ..., "candidates":
+        ...}``).  Atomicity matters to sync adapters: the stepping thread
+        drains the whole inbox before stepping, so a batch submitted here
+        is admitted exactly as if the engine had been driven synchronously.
+        """
+        prepared = [self._build_request(spec) for spec in specs]
+        self._register(prepared)
+        return prepared
+
+    # ------------------------------------------------------------------ #
+    # asyncio surface
+    # ------------------------------------------------------------------ #
+    async def generate(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Submit and await one generation (returns ``prompt + generated``)."""
+        request = self.submit(
+            prompt_ids,
+            max_new_tokens,
+            temperature=temperature,
+            stop_ids=stop_ids,
+            timeout=timeout,
+        )
+        return await asyncio.wrap_future(request.future)
+
+    async def score(
+        self,
+        prompt_ids: np.ndarray,
+        candidates: Sequence[np.ndarray],
+        *,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Submit and await one scoring request (candidate log-probs)."""
+        request = self.submit_score(prompt_ids, candidates, timeout=timeout)
+        return await asyncio.wrap_future(request.future)
+
+    async def stream(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+        timeout: float | None = None,
+    ) -> AsyncIterator[int]:
+        """Submit one generation and yield its tokens as they are decoded."""
+        request = self.submit(
+            prompt_ids,
+            max_new_tokens,
+            temperature=temperature,
+            stop_ids=stop_ids,
+            timeout=timeout,
+        )
+        async for token in request.tokens():
+            yield token
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the stepping thread and refuse further submissions.
+
+        ``drain=True`` finishes all queued and live work first; ``drain=
+        False`` aborts — queued and live requests are cancelled at the next
+        step boundary (their futures raise :class:`RequestCancelled`).
+        Idempotent; safe to call from any thread except the stepping thread.
+        """
+        with self._work:
+            if self._closing is None or (self._closing == "drain" and not drain):
+                self._closing = "drain" if drain else "abort"
+            thread = self._thread
+            self._work.notify_all()
+        if thread is not None:
+            thread.join(timeout)
+        if thread is None:
+            # Never started: fail anything sitting in the inboxes.
+            self._abort_pending()
+
+    def close(self) -> None:
+        """Abort-mode shutdown (alias for ``shutdown(drain=False)``)."""
+        self.shutdown(drain=False)
+
+    def __enter__(self) -> "AsyncEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    async def __aenter__(self) -> "AsyncEngine":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.shutdown(drain=exc_type is None)
+        )
+
+    # ------------------------------------------------------------------ #
+    # streaming plumbing
+    # ------------------------------------------------------------------ #
+    def _subscribe(
+        self, request: AsyncRequest, loop: asyncio.AbstractEventLoop, queue: asyncio.Queue
+    ) -> None:
+        """Attach a token-stream subscriber (called from the subscriber's loop).
+
+        A live request replays only what the stepping thread has already
+        *published* (``_published``) — tokens decoded but not yet published
+        arrive through the next ``_publish`` like for every other
+        subscriber, so joining mid-step never advances the shared cursor
+        past tokens an existing subscriber still awaits.  A finished
+        request replays everything and closes immediately.
+        """
+        with self._lock:
+            state = (
+                request.engine_request.state
+                if request.engine_request is not None
+                else None
+            )
+            if request.future.done():
+                if state is not None:
+                    for token in state.generated[: state.gen_len]:
+                        queue.put_nowait(int(token))
+                queue.put_nowait(_END)
+                return
+            if state is not None:
+                for token in state.generated[: request._published]:
+                    queue.put_nowait(int(token))
+            request._subscribers.append((loop, queue))
+
+    def _unsubscribe(
+        self, request: AsyncRequest, loop: asyncio.AbstractEventLoop, queue: asyncio.Queue
+    ) -> None:
+        """Detach a token-stream subscriber (idempotent)."""
+        with self._lock:
+            try:
+                request._subscribers.remove((loop, queue))
+            except ValueError:
+                pass
+
+    def _publish(self, request: AsyncRequest, final: bool) -> None:
+        """Push newly decoded tokens (stepping thread only).
+
+        A subscriber whose event loop has closed (the consumer went away
+        without finalizing its generator) is dropped instead of crashing
+        the stepping thread.
+        """
+        with self._lock:
+            subscribers = list(request._subscribers)
+            if not subscribers:
+                if final:
+                    request._subscribers.clear()
+                return
+            state = (
+                request.engine_request.state
+                if request.engine_request is not None
+                else None
+            )
+            fresh: list[int] = []
+            if state is not None:
+                fresh = [
+                    int(t)
+                    for t in state.generated[request._published : state.gen_len]
+                ]
+                request._published = state.gen_len
+            dead: list[tuple] = []
+            for loop, queue in subscribers:
+                try:
+                    for token in fresh:
+                        loop.call_soon_threadsafe(queue.put_nowait, token)
+                    if final:
+                        loop.call_soon_threadsafe(queue.put_nowait, _END)
+                except RuntimeError:  # loop closed mid-stream
+                    dead.append((loop, queue))
+            if final:
+                request._subscribers.clear()
+            elif dead:
+                request._subscribers = [
+                    s for s in request._subscribers if s not in dead
+                ]
+
+    # ------------------------------------------------------------------ #
+    # resolution helpers (stepping thread only)
+    # ------------------------------------------------------------------ #
+    def _resolve(self, request: AsyncRequest, result=None, exc: Exception | None = None):
+        if request.future.cancelled() or request.future.done():
+            self._publish(request, final=True)
+            return
+        self._publish(request, final=False)
+        if exc is not None:
+            request.future.set_exception(exc)
+        else:
+            request.future.set_result(result)
+        self._publish(request, final=True)
+
+    def _abort_pending(self) -> None:
+        """Cancel everything queued/live (stepping thread, or pre-start)."""
+        with self._lock:
+            inbox = list(self._inbox)
+            self._inbox.clear()
+            scores = list(self._scores)
+            self._scores.clear()
+        for request in inbox + scores:
+            self._resolve(
+                request,
+                exc=RequestCancelled(request.request_id, request.partial_output()),
+            )
+        for request in list(self._active.values()):
+            if request.engine_request is not None:
+                self.engine.cancel(request.engine_request, reason="cancelled")
+            self._resolve(
+                request,
+                exc=RequestCancelled(request.request_id, request.partial_output()),
+            )
+        self._active.clear()
+
+    # ------------------------------------------------------------------ #
+    # the stepping thread
+    # ------------------------------------------------------------------ #
+    def _ensure_thread(self) -> None:
+        """Start the stepping thread lazily (caller holds the lock).
+
+        The thread target holds only a weak reference between iterations
+        (see :func:`_stepper`), so an engine dropped by all its users does
+        not live on inside a parked thread.
+        """
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=_stepper,
+                args=(weakref.ref(self),),
+                name="AsyncEngine-stepper",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def _earliest_deadline(self) -> float | None:
+        """Soonest per-request deadline across inbox/scores/active, if any."""
+        deadlines = [
+            r.deadline
+            for r in list(self._inbox) + list(self._scores) + list(self._active.values())
+            if r.deadline is not None and not r.future.done()
+        ]
+        return min(deadlines) if deadlines else None
+
+    @staticmethod
+    def _drop_reason(request: AsyncRequest, now: float) -> str | None:
+        """Why a pending request must be dropped now, or None to keep it."""
+        if request._cancel_requested or request.future.cancelled():
+            return "cancelled"
+        if request.deadline is not None and now >= request.deadline:
+            return "timeout"
+        return None
+
+    def _expire_and_cancel(self) -> None:
+        """Apply cancellations and expired timeouts at the step boundary."""
+        now = self.clock()
+        # Inbox/score entries the engine has never seen: drop them directly.
+        dropped: list[tuple[AsyncRequest, str]] = []
+        with self._lock:
+            for name in ("_inbox", "_scores"):
+                kept: deque[AsyncRequest] = deque()
+                for request in getattr(self, name):
+                    reason = self._drop_reason(request, now)
+                    if reason is None:
+                        kept.append(request)
+                    else:
+                        dropped.append((request, reason))
+                setattr(self, name, kept)
+        for request, reason in dropped:
+            exc_type = RequestTimeout if reason == "timeout" else RequestCancelled
+            stats = self.engine.stats
+            # Keep the counter invariant (cancelled/timeouts count toward
+            # finished, finished <= submitted) even though the inner engine
+            # never saw this request.
+            stats.submitted += 1
+            stats.finished += 1
+            if reason == "timeout":
+                stats.timeouts += 1
+            else:
+                stats.cancelled += 1
+            self._resolve(
+                request, exc=exc_type(request.request_id, request.partial_output())
+            )
+        # Requests the engine owns (queued inside it or live in the batch).
+        for key, request in list(self._active.items()):
+            reason = self._drop_reason(request, now)
+            if reason is None:
+                continue
+            self.engine.cancel(request.engine_request, reason=reason)
+            exc_type = RequestTimeout if reason == "timeout" else RequestCancelled
+            self._resolve(
+                request, exc=exc_type(request.request_id, request.partial_output())
+            )
+            self._active.pop(key, None)
+
+    def _hand_to_engine(self, inbox: list[AsyncRequest]) -> None:
+        """Feed drained inbox entries to the inner engine (stepping thread)."""
+        for request in inbox:
+            try:
+                engine_request = self.engine.submit(
+                    request.prompt_ids,
+                    max_new_tokens=request.max_new_tokens,
+                    temperature=request.temperature,
+                    stop_ids=set(request.stop_ids),
+                    submitted_at=request.submitted_at,
+                )
+            except Exception as exc:  # validation raced a config change
+                self._resolve(request, exc=exc)
+                continue
+            request.engine_request = engine_request
+            self._active[engine_request.request_id] = request
+
+    def _run_one_score(self) -> bool:
+        """Run at most one queued score job; returns whether one ran."""
+        with self._lock:
+            if not self._scores:
+                return False
+            request = self._scores.popleft()
+        try:
+            scores = self._scorer.score_continuations(
+                request.prompt_ids, list(request.candidates)
+            )
+        except Exception as exc:
+            self._resolve(request, exc=exc)
+            return True
+        self._resolve(request, result=scores)
+        return True
+
+    def _loop_once(self) -> bool:
+        """One stepping-thread iteration; returns ``False`` when done for good."""
+        engine = self.engine
+        with self._work:
+            closing = self._closing
+            has_inbox = bool(self._inbox) or bool(self._scores)
+            if closing is None and not has_inbox and not engine.has_work:
+                if not self._parked:
+                    self._parked = True
+                    engine.stats.parks += 1
+                self._work.wait(timeout=_GC_PARK_SECONDS)
+                return True
+            if self._parked:
+                self._parked = False
+                engine.stats.wakeups += 1
+            drained = (
+                closing == "drain" and not has_inbox and not engine.has_work
+            )
+            inbox = [] if closing == "abort" or drained else list(self._inbox)
+            if closing != "abort":
+                self._inbox.clear()
+        if closing == "abort" or drained:
+            # Abort cancels everything pending; a completed drain resolves
+            # any straggler caught in the closing race (normally a no-op).
+            self._abort_pending()
+            return False
+        # Queue-depth accounting lives on the stepping thread (the engine's
+        # own submit-side stamp runs here too, in _hand_to_engine), so the
+        # read-modify-write on the shared counter never races a submitter.
+        depth = len(inbox) + engine.num_queued
+        if depth:
+            engine.stats.peak_queue_depth = max(engine.stats.peak_queue_depth, depth)
+        self._hand_to_engine(inbox)
+        self._expire_and_cancel()
+
+        steps_before = engine.stats.steps
+        finished: list[EngineRequest] = []
+        try:
+            if engine.has_work:
+                finished = engine.step(force_admit=closing == "drain")
+        except Exception as exc:
+            # A fatal step error fails every request the engine owns and
+            # resets the batch; the thread stays up for future traffic.
+            for request in list(self._active.values()):
+                self._resolve(request, exc=RuntimeError(f"engine step failed: {exc}"))
+            self._active.clear()
+            engine.reset()
+            return True
+        for engine_request in finished:
+            request = self._active.pop(engine_request.request_id, None)
+            if request is not None:
+                self._resolve(request, result=engine_request.result)
+        # Stream newly decoded tokens of the still-live rows.
+        for request in list(self._active.values()):
+            self._publish(request, final=False)
+        scored = self._run_one_score()
+        if self.on_step is not None and (
+            engine.stats.steps > steps_before or finished or scored
+        ):
+            try:
+                self.on_step(self)
+            except Exception:
+                pass  # observation hooks must not kill the stepper
+        made_progress = engine.stats.steps > steps_before or bool(finished) or scored
+        if not made_progress and engine.has_work:
+            # The engine is deadline-holding queued arrivals (idle batch
+            # under admit_deadline, or a min_admit_rows hold).  Sleep
+            # until the relevant deadline instead of spinning.
+            with self._work:
+                if self._inbox or self._scores or self._closing is not None:
+                    return True
+                waits = []
+                if engine.admit_deadline > 0 and engine.num_queued:
+                    oldest = min(r.submitted_at for r in engine._queue)
+                    waits.append(engine.admit_deadline - (self.clock() - oldest))
+                request_deadline = self._earliest_deadline()
+                if request_deadline is not None:
+                    waits.append(request_deadline - self.clock())
+                timeout = max(min(waits), 0.0) if waits else 0.001
+                self._work.wait(timeout=max(timeout, 1e-4))
+        return True

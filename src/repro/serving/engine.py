@@ -46,7 +46,31 @@ from repro.serving.pool import PrefixCachePool
 from repro.serving.scheduler import SchedulerStats
 from repro.utils.rng import new_rng
 
-__all__ = ["EngineRequest", "EngineStats", "ContinuousBatchingEngine"]
+__all__ = [
+    "EngineRequest",
+    "EngineStats",
+    "ContinuousBatchingEngine",
+    "validate_prompt",
+]
+
+
+def validate_prompt(model: DecoderLM, prompt_ids: np.ndarray) -> np.ndarray:
+    """Coerce and admission-check one prompt (shared by every front end).
+
+    The scheduler, the async engine and the engine itself must agree on
+    what is admissible — batched decoding validates whole padded batches,
+    so an oversized prompt slipping past one layer would fail all of its
+    batchmates later.
+    """
+    prompt = np.asarray(prompt_ids, dtype=np.int64).ravel()
+    if len(prompt) == 0:
+        raise ValueError("generate requests need a non-empty prompt")
+    if len(prompt) > model.config.max_position:
+        raise ValueError(
+            f"prompt of {len(prompt)} tokens exceeds the model's maximum "
+            f"context {model.config.max_position}"
+        )
+    return prompt
 
 
 @dataclass
@@ -77,7 +101,12 @@ class EngineRequest:
 
     @property
     def finish_reason(self) -> str | None:
-        """``"stop"``, ``"length"`` or ``"context"`` once the request is done."""
+        """Why the request retired, once it is done.
+
+        ``"stop"``, ``"length"`` or ``"context"`` for natural completion;
+        ``"cancelled"`` or ``"timeout"`` when it was retired early via
+        :meth:`ContinuousBatchingEngine.cancel`.
+        """
         return self.state.finish_reason
 
     @property
@@ -127,6 +156,17 @@ class EngineStats(SchedulerStats):
     peak_rows: int = 0
     #: Sum over steps of live rows that step decoded (batch occupancy).
     row_steps: int = 0
+    #: Requests retired early by :meth:`ContinuousBatchingEngine.cancel`,
+    #: split by reason ("cancelled" from the caller, "timeout" from an
+    #: expired per-request deadline).  Both also count toward ``finished``.
+    cancelled: int = 0
+    timeouts: int = 0
+    #: Async front-end counters (stamped by :class:`~repro.serving.aio
+    #: .AsyncEngine`): how often the stepping thread parked with no work,
+    #: how often it was woken, and the deepest the submission queue got.
+    parks: int = 0
+    wakeups: int = 0
+    peak_queue_depth: int = 0
     queue_seconds: list = field(default_factory=list)
     prefill_seconds: list = field(default_factory=list)
     ttft_seconds: list = field(default_factory=list)
@@ -159,6 +199,11 @@ class EngineStats(SchedulerStats):
             "mean_decode_steps": (
                 float(np.mean(self.decode_steps)) if self.decode_steps else 0.0
             ),
+            "cancelled": self.cancelled,
+            "timeouts": self.timeouts,
+            "parks": self.parks,
+            "wakeups": self.wakeups,
+            "peak_queue_depth": self.peak_queue_depth,
         }
 
 
@@ -233,16 +278,16 @@ class ContinuousBatchingEngine:
         *,
         temperature: float = 0.0,
         stop_ids: set[int] | None = None,
+        submitted_at: float | None = None,
     ) -> EngineRequest:
-        """Queue a generation request; it joins the live batch between steps."""
-        prompt = np.asarray(prompt_ids, dtype=np.int64).ravel()
-        if len(prompt) == 0:
-            raise ValueError("generate requests need a non-empty prompt")
-        if len(prompt) > self.model.config.max_position:
-            raise ValueError(
-                f"prompt of {len(prompt)} tokens exceeds the model's maximum "
-                f"context {self.model.config.max_position}"
-            )
+        """Queue a generation request; it joins the live batch between steps.
+
+        ``submitted_at`` (engine-clock time) backdates the queue-time stamp
+        for front ends that held the request before handing it over — the
+        async engine's inbox dwell would otherwise be invisible to the
+        queue/TTFT SLA timings.
+        """
+        prompt = validate_prompt(self.model, prompt_ids)
         state = DecodeState(
             prompt_ids=prompt,
             max_new_tokens=int(max_new_tokens),
@@ -250,11 +295,14 @@ class ContinuousBatchingEngine:
             stop_ids=frozenset(stop_ids or ()),
         )
         request = EngineRequest(
-            request_id=self._next_id, state=state, submitted_at=self.clock()
+            request_id=self._next_id,
+            state=state,
+            submitted_at=self.clock() if submitted_at is None else float(submitted_at),
         )
         self._next_id += 1
         self._queue.append(request)
         self.stats.submitted += 1
+        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, len(self._queue))
         return request
 
     # ------------------------------------------------------------------ #
@@ -394,6 +442,42 @@ class ContinuousBatchingEngine:
             if request.first_token_at is None and request.state.gen_len > 0:
                 request.first_token_at = sampled_at
         return finished
+
+    def cancel(self, request: EngineRequest, reason: str = "cancelled") -> bool:
+        """Retire ``request`` at the current step boundary.
+
+        A queued request is removed from the queue; a live one is retired
+        from the batch immediately, reclaiming its KV-cache row.  Either way
+        the request completes with ``finish_reason`` set to ``reason``
+        (``"cancelled"`` or ``"timeout"``) and ``result`` holding the tokens
+        decoded so far (at least the prompt).  Returns ``False`` when the
+        request already finished — cancellation racing natural retirement is
+        a no-op, never an error.
+
+        Like :meth:`step`, this mutates the live batch and must only be
+        called between steps by whoever owns the stepping loop (the calling
+        thread in sync use, the stepping thread under
+        :class:`~repro.serving.aio.AsyncEngine`).
+        """
+        if request.done:
+            return False
+        state = request.state
+        if id(state) in self._live:
+            state.finished, state.finish_reason = True, reason
+            self.batch.retire_finished()
+            self._live.pop(id(state))
+        else:
+            try:
+                self._queue.remove(request)
+            except ValueError:  # not queued here (already handed elsewhere)
+                return False
+            state.finished, state.finish_reason = True, reason
+        self._finish(request)
+        if reason == "timeout":
+            self.stats.timeouts += 1
+        else:
+            self.stats.cancelled += 1
+        return True
 
     def reset(self) -> None:
         """Drop all queued and live work (recovery after a fatal step error)."""

@@ -10,13 +10,17 @@ consumer, and checked back in under the new prompt — bounded by an LRU
 eviction policy so memory stays capped no matter how many distinct prompt
 families pass through.
 
-The pool is synchronous and single-threaded (like the rest of the library):
-``checkout`` *removes* the entry it returns, so two consumers can never
-mutate the same ``KVCache`` buffers concurrently.
+``checkout`` *removes* (or copies) the entry it returns, so two consumers
+can never mutate the same ``KVCache`` buffers concurrently.  Since the
+async serving layer (:mod:`repro.serving.aio`) runs engine stepping threads
+beside synchronous callers, the pool's own bookkeeping (entry map, LRU
+order, stats) is guarded by a lock — checked-out caches are still owned
+exclusively by their caller until check-in.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -71,6 +75,7 @@ class _PoolEntry:
 _SHARED_POOLS: "weakref.WeakKeyDictionary[DecoderLM, PrefixCachePool]" = (
     weakref.WeakKeyDictionary()
 )
+_SHARED_POOLS_LOCK = threading.Lock()
 
 
 class PrefixCachePool:
@@ -96,6 +101,7 @@ class PrefixCachePool:
         self.min_reuse_tokens = min_reuse_tokens
         self.stats = PoolStats()
         self._entries: OrderedDict[int, _PoolEntry] = OrderedDict()
+        self._lock = threading.RLock()
 
     @classmethod
     def shared(cls, model: DecoderLM, max_entries: int = 8) -> "PrefixCachePool":
@@ -104,11 +110,12 @@ class PrefixCachePool:
         Engines, streaming detectors and schedulers built around the same
         model instance all draw from this pool unless given a private one.
         """
-        pool = _SHARED_POOLS.get(model)
-        if pool is None:
-            pool = cls(model, max_entries=max_entries)
-            _SHARED_POOLS[model] = pool
-        return pool
+        with _SHARED_POOLS_LOCK:
+            pool = _SHARED_POOLS.get(model)
+            if pool is None:
+                pool = cls(model, max_entries=max_entries)
+                _SHARED_POOLS[model] = pool
+            return pool
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -121,7 +128,8 @@ class PrefixCachePool:
 
     def clear(self) -> None:
         """Drop every pooled cache (stats are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------ #
     def peek(self, prompt_ids: np.ndarray) -> int:
@@ -136,9 +144,10 @@ class PrefixCachePool:
         """
         prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
         best = 0
-        for entry in self._entries.values():
-            common = common_prefix_length(entry.ids, prompt_ids)
-            best = max(best, min(common, entry.cache.length))
+        with self._lock:
+            for entry in self._entries.values():
+                common = common_prefix_length(entry.ids, prompt_ids)
+                best = max(best, min(common, entry.cache.length))
         return best if best >= self.min_reuse_tokens else 0
 
     def checkout(self, prompt_ids: np.ndarray) -> tuple[KVCache, int]:
@@ -153,39 +162,40 @@ class PrefixCachePool:
         ``min_reuse_tokens`` a fresh empty cache is allocated (a miss).
         """
         prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
-        best_key, best_common = None, 0
-        for key, entry in self._entries.items():
-            common = common_prefix_length(entry.ids, prompt_ids)
-            if common > best_common:
-                best_key, best_common = key, common
-        if best_key is None or best_common < self.min_reuse_tokens:
-            self.stats.misses += 1
-            cache = self.model.make_cache(1, self.model.config.max_position)
-            cache.pool_reused_tokens = 0
-            return cache, 0
-        entry = self._entries[best_key]
-        if best_common >= entry.cache.length:
-            # The prompt covers the whole entry (typically an extension of
-            # it): hand the cache over and let checkin re-add the longer
-            # prefill.
-            self._entries.pop(best_key)
-            cache = entry.cache
-            cache.truncate(min(best_common, cache.length))
-        else:
-            # Partial overlap (e.g. a shared template head): copy the prefix
-            # instead of consuming the entry, so the longer prefill stays
-            # available to its own prompt family.
-            self._entries.move_to_end(best_key)
-            cache = entry.cache.clone_prefix(
-                best_common, self.model.config.max_position
-            )
-        reused = cache.length
-        self.stats.hits += 1
-        self.stats.tokens_reused += reused
-        # Remembered so checkin can count only the *newly* forwarded tokens
-        # as prefill work (reused positions were never recomputed).
-        cache.pool_reused_tokens = reused
-        return cache, reused
+        with self._lock:
+            best_key, best_common = None, 0
+            for key, entry in self._entries.items():
+                common = common_prefix_length(entry.ids, prompt_ids)
+                if common > best_common:
+                    best_key, best_common = key, common
+            if best_key is None or best_common < self.min_reuse_tokens:
+                self.stats.misses += 1
+                cache = self.model.make_cache(1, self.model.config.max_position)
+                cache.pool_reused_tokens = 0
+                return cache, 0
+            entry = self._entries[best_key]
+            if best_common >= entry.cache.length:
+                # The prompt covers the whole entry (typically an extension of
+                # it): hand the cache over and let checkin re-add the longer
+                # prefill.
+                self._entries.pop(best_key)
+                cache = entry.cache
+                cache.truncate(min(best_common, cache.length))
+            else:
+                # Partial overlap (e.g. a shared template head): copy the prefix
+                # instead of consuming the entry, so the longer prefill stays
+                # available to its own prompt family.
+                self._entries.move_to_end(best_key)
+                cache = entry.cache.clone_prefix(
+                    best_common, self.model.config.max_position
+                )
+            reused = cache.length
+            self.stats.hits += 1
+            self.stats.tokens_reused += reused
+            # Remembered so checkin can count only the *newly* forwarded tokens
+            # as prefill work (reused positions were never recomputed).
+            cache.pool_reused_tokens = reused
+            return cache, reused
 
     def checkin(self, prompt_ids: np.ndarray, cache: KVCache) -> None:
         """Store ``cache`` (holding keys/values of ``prompt_ids[:cache.length]``).
@@ -204,11 +214,12 @@ class PrefixCachePool:
             )
         ids = prompt_ids[: cache.length].copy()
         key = self._key(ids)
-        self._entries.pop(key, None)
-        self._entries[key] = _PoolEntry(ids=ids, cache=cache)
-        reused = getattr(cache, "pool_reused_tokens", 0)
-        self.stats.tokens_prefilled += max(int(cache.length) - int(reused), 0)
-        cache.pool_reused_tokens = 0
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = _PoolEntry(ids=ids, cache=cache)
+            reused = getattr(cache, "pool_reused_tokens", 0)
+            self.stats.tokens_prefilled += max(int(cache.length) - int(reused), 0)
+            cache.pool_reused_tokens = 0
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1

@@ -1,26 +1,28 @@
-"""Serve-style front door: coalesce pending requests onto the decode engine.
+"""Serve-style front door: a thin sync adapter over the async engine.
 
 Consumers (benchmark drivers, notebook sessions, the detection pipeline)
 submit *generate* or *score* requests one at a time; the scheduler queues
-them and, on :meth:`BatchScheduler.flush`, feeds every pending generate
-request to a :class:`~repro.serving.engine.ContinuousBatchingEngine` and
-drains it — the engine admits up to ``max_batch_size`` rows at a time,
-retires each row the moment it finishes, and refills the freed slots from
-the queue, so requests with different token budgets, temperatures or stop
-sets share one live batch instead of being split into per-parameter padded
-batches.  Score requests run through a
+them and, on :meth:`BatchScheduler.flush`, hands the whole pending set to
+an :class:`~repro.serving.aio.AsyncEngine` in one atomic batch and blocks
+on the futures.  The async engine's background stepping thread drives the
+:class:`~repro.serving.engine.ContinuousBatchingEngine` — admitting up to
+``max_batch_size`` rows at a time, retiring each row the moment it
+finishes, and refilling freed slots from the queue — so requests with
+different token budgets, temperatures or stop sets share one live batch.
+Score requests run on the same stepping thread through a
 :class:`~repro.models.decoder.PrefixCachedScorer` backed by the same
 process-wide :class:`~repro.serving.pool.PrefixCachePool`, so generate
 prefills, score prefills and streaming detectors all reuse each other's
 overlapping prompt work.  Results come back on the request handles in
 submit order.
 
-The scheduler is synchronous: ``flush`` runs the work on the calling thread.
-It models the *batching* half of a serving stack (request coalescing,
-iteration-level admission, shared caches) without an event loop, which
-keeps it deterministic and testable; :attr:`BatchScheduler.engine` exposes
-the underlying engine (and its per-request SLA stats) for callers that want
-to drive admission step by step.
+Because the batch is submitted atomically and the stepping thread drains
+its whole inbox before stepping, a flush behaves exactly like driving the
+engine synchronously: admission groups, step counts and greedy outputs are
+identical to the pre-async scheduler.  Callers that want arrival-driven
+behaviour (futures, streaming, cancellation, timeouts) should use
+:attr:`BatchScheduler.aio` — or construct an
+:class:`~repro.serving.aio.AsyncEngine` directly.
 """
 
 from __future__ import annotations
@@ -30,11 +32,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.models.decoder import DecoderLM, PrefixCachedScorer
+from repro.models.decoder import DecoderLM
 from repro.serving.pool import PrefixCachePool
 from repro.utils.rng import new_rng
 
 __all__ = ["ServingRequest", "SchedulerStats", "BatchScheduler"]
+
+#: Upper bound on one flush (seconds).  A deadlocked stepping thread turns
+#: into a reported per-request error instead of a silent infinite hang.
+_FLUSH_TIMEOUT = 600.0
 
 
 @dataclass
@@ -52,7 +58,6 @@ class ServingRequest:
     result: np.ndarray | None = None
     #: Error message when the request failed during flush (result stays None).
     error: str | None = None
-
 
 
 @dataclass
@@ -80,7 +85,7 @@ class SchedulerStats:
 
 
 class BatchScheduler:
-    """Coalesce generate/score requests onto the continuous decode engine."""
+    """Coalesce generate/score requests onto the async serving engine."""
 
     def __init__(
         self,
@@ -91,7 +96,7 @@ class BatchScheduler:
         rng: np.random.Generator | int | None = None,
     ) -> None:
         # Deferred import: the engine module subclasses SchedulerStats.
-        from repro.serving.engine import ContinuousBatchingEngine
+        from repro.serving.aio import AsyncEngine
 
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -100,15 +105,19 @@ class BatchScheduler:
         self.cache_pool = cache_pool or PrefixCachePool.shared(model)
         self.rng = new_rng(rng)
         self.stats = SchedulerStats()
-        #: The iteration-level decode engine every generate request runs on;
-        #: shares this scheduler's rng stream and prefix-cache pool.
-        self.engine = ContinuousBatchingEngine(
+        #: The async front-end every flush runs through; its background
+        #: stepping thread owns the model.  Shares this scheduler's rng
+        #: stream and prefix-cache pool.
+        self.aio = AsyncEngine(
             model,
             max_batch_rows=max_batch_size,
             cache_pool=self.cache_pool,
             rng=self.rng,
         )
-        self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
+        #: The iteration-level decode engine under the async front-end
+        #: (kept as a direct attribute for callers that drive admission
+        #: step by step or read per-request SLA stats).
+        self.engine = self.aio.engine
         self._pending: list[ServingRequest] = []
         self._next_id = 0
 
@@ -131,18 +140,14 @@ class BatchScheduler:
         temperature: float = 0.0,
         stop_ids: set[int] | None = None,
     ) -> ServingRequest:
-        """Queue an autoregressive-generation request."""
-        prompt = np.asarray(prompt_ids, dtype=np.int64).ravel()
-        if len(prompt) == 0:
-            raise ValueError("generate requests need a non-empty prompt")
-        if len(prompt) > self.model.config.max_position:
-            # Reject at submit time: batched decoding validates whole padded
-            # batches, so one oversized prompt would otherwise fail all of
-            # its batchmates at flush.
-            raise ValueError(
-                f"prompt of {len(prompt)} tokens exceeds the model's maximum "
-                f"context {self.model.config.max_position}"
-            )
+        """Queue an autoregressive-generation request.
+
+        Validation happens here, at submit time, so a bad prompt cannot
+        strand its flush batchmates.
+        """
+        from repro.serving.engine import validate_prompt
+
+        prompt = validate_prompt(self.model, prompt_ids)
         request = ServingRequest(
             request_id=self._next_id,
             kind="generate",
@@ -174,56 +179,66 @@ class BatchScheduler:
     def flush(self) -> list[ServingRequest]:
         """Run every pending request; return the handles in submit order.
 
-        Generate requests are fed to the continuous engine in submit order
-        and drained: the engine admits up to ``max_batch_size`` rows,
-        retires finished rows immediately and refills the freed slots, so
-        mixed decoding parameters share one live batch.  Score requests run
-        through the pool-backed prefix-cached scorer, so consecutive
-        overlapping prompts — and any prompts overlapping earlier traffic —
-        skip their shared prefill.
+        The whole pending set is submitted to the async engine atomically
+        and this thread blocks on the futures: generate requests run
+        through the continuous engine (up to ``max_batch_size`` live rows,
+        immediate retirement, slot refill), score requests through the
+        pool-backed prefix-cached scorer — all on the engine's stepping
+        thread, so a flush from any thread is safe.
         """
         pending, self._pending = self._pending, []
         if not pending:
             return []
 
-        generates = [r for r in pending if r.kind == "generate"]
-        if generates:
-            batches_before = len(self.engine.stats.batch_sizes)
-            handles = [
-                self.engine.submit(
-                    r.prompt_ids,
-                    max_new_tokens=r.max_new_tokens,
-                    temperature=r.temperature,
-                    stop_ids=set(r.stop_ids),
-                )
-                for r in generates
-            ]
-            try:
-                self.engine.drain()
-                for request, handle in zip(generates, handles):
-                    request.result = handle.result
-                    request.error = handle.error
-                    request.done = True
-            except Exception as exc:  # a bad request must not strand the rest
-                for request, handle in zip(generates, handles):
-                    request.result = handle.result
-                    request.error = handle.error if handle.done else str(exc)
-                    request.done = True
-                self.engine.reset()
-            admission_sizes = self.engine.stats.batch_sizes[batches_before:]
-            self.stats.generate_batches += len(admission_sizes)
-            self.stats.batch_sizes.extend(admission_sizes)
-
+        batches_before = len(self.engine.stats.batch_sizes)
+        specs = []
         for request in pending:
-            if request.kind == "score":
-                try:
-                    request.result = self._scorer.score_continuations(
-                        request.prompt_ids, list(request.candidates)
-                    )
-                except Exception as exc:
-                    request.error = str(exc)
+            if request.kind == "generate":
+                specs.append(
+                    {
+                        "prompt_ids": request.prompt_ids,
+                        "max_new_tokens": request.max_new_tokens,
+                        "temperature": request.temperature,
+                        "stop_ids": set(request.stop_ids),
+                    }
+                )
+            else:
+                specs.append(
+                    {
+                        "kind": "score",
+                        "prompt_ids": request.prompt_ids,
+                        "candidates": request.candidates,
+                    }
+                )
+        try:
+            handles = self.aio.submit_batch(specs)
+        except Exception as exc:  # e.g. the engine was shut down
+            for request in pending:
+                request.error = str(exc)
                 request.done = True
+            self.stats.flushed += len(pending)
+            self.stats.flushes += 1
+            return pending
+        for request, handle in zip(pending, handles):
+            try:
+                request.result = handle.result(timeout=_FLUSH_TIMEOUT)
+            except Exception as exc:  # a bad request must not strand the rest
+                request.error = str(exc)
+            request.done = True
 
+        admission_sizes = self.engine.stats.batch_sizes[batches_before:]
+        self.stats.generate_batches += len(admission_sizes)
+        self.stats.batch_sizes.extend(admission_sizes)
         self.stats.flushed += len(pending)
         self.stats.flushes += 1
         return pending
+
+    def close(self) -> None:
+        """Shut down the async engine's stepping thread (drain mode)."""
+        self.aio.shutdown(drain=True)
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -12,30 +12,40 @@ tensors (token ids, masks) flow through the graph as constants.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (like torch's): the async serving layer runs
+# inference under ``no_grad`` on a background stepping thread while the
+# main thread may be training.  A process-global flag would let the two
+# threads' enter/exit interleavings corrupt each other (classic lost-update:
+# A enters, B enters, A exits, B restores False forever); thread-local
+# state makes each thread's inference mode invisible to the others.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
-    """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (inference mode).
+
+    Scoped to the current thread: other threads' gradient recording is
+    unaffected.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations on this thread currently record gradients."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -85,7 +95,7 @@ class Tensor:
         elif arr.dtype.kind == "b":
             arr = arr.astype(np.bool_)
         self.data: np.ndarray = arr
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward = backward
         self._parents = parents if self.requires_grad or parents else ()
@@ -155,7 +165,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         name: str = "",
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires:
             return cls(data, requires_grad=False)
         return cls(data, requires_grad=True, parents=tuple(parents), backward=backward, name=name)

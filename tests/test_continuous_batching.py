@@ -24,9 +24,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from parity import assert_generations_equal, assert_logits_close
+from parity import assert_generations_equal
 from repro.models import DecoderLM, get_config
-from repro.models.decoder import DecodeBatch, DecodeState
+from repro.models.decoder import DecodeState
 from repro.serving import ContinuousBatchingEngine, PrefixCachePool
 from repro.tensor import no_grad
 
@@ -498,4 +498,104 @@ class TestContinuousBatchingEngine:
                 model.generate(ragged_prompts[1], max_new_tokens=4),
             ],
             context="reuse after drain",
+        )
+
+
+# ---------------------------------------------------------------------- #
+# engine edge cases the async layer leans on
+# ---------------------------------------------------------------------- #
+class TestEngineEdgeCases:
+    def test_step_on_an_empty_engine_is_a_noop(self, model):
+        engine = ContinuousBatchingEngine(model, max_batch_rows=2)
+        assert engine.step() == []
+        assert engine.step(force_admit=True) == []
+        assert engine.drain() == []
+        assert engine.stats.steps == 0 and not engine.has_work
+        assert engine.batch.num_rows == 0
+
+    def test_cancel_queued_and_live_requests_reclaims_rows(self, model, ragged_prompts):
+        engine = ContinuousBatchingEngine(model, max_batch_rows=2)
+        live_a = engine.submit(ragged_prompts[0], max_new_tokens=8)
+        live_b = engine.submit(ragged_prompts[1], max_new_tokens=8)
+        queued = engine.submit(ragged_prompts[2], max_new_tokens=8)
+        engine.step()  # a and b admitted; the third waits in the queue
+        assert engine.batch.num_rows == 2 and engine.num_queued == 1
+
+        # Queued cancel: removed without ever taking a row.
+        assert engine.cancel(queued)
+        assert queued.done and queued.finish_reason == "cancelled"
+        np.testing.assert_array_equal(queued.result, ragged_prompts[2])
+        assert engine.num_queued == 0
+
+        # Live cancel: the row retires at the step boundary, KV reclaimed.
+        assert engine.cancel(live_a)
+        assert live_a.finish_reason == "cancelled"
+        assert engine.batch.num_rows == 1
+        assert engine.batch.cache.batch_size == 1
+        reference_a = model.generate(ragged_prompts[0], max_new_tokens=8)
+        np.testing.assert_array_equal(
+            live_a.result, reference_a[: len(live_a.result)]
+        )
+        assert engine.stats.cancelled == 2
+
+        # The survivor decodes to parity beside the retirements.
+        engine.drain()
+        assert_generations_equal(
+            [live_b.result],
+            [model.generate(ragged_prompts[1], max_new_tokens=8)],
+            context="survivor of cancellations",
+        )
+        # Cancellation racing natural retirement is a no-op, not an error.
+        assert engine.cancel(live_b) is False
+        assert live_b.finish_reason == "length"
+
+    def test_resubmission_after_drain_with_cancellations(self, model, ragged_prompts):
+        engine = ContinuousBatchingEngine(model, max_batch_rows=2)
+        doomed = engine.submit(ragged_prompts[0], max_new_tokens=6)
+        engine.step()
+        engine.cancel(doomed)
+        engine.drain()
+        assert not engine.has_work
+        fresh = engine.submit(ragged_prompts[1], max_new_tokens=6)
+        engine.drain()
+        assert_generations_equal(
+            [fresh.result],
+            [model.generate(ragged_prompts[1], max_new_tokens=6)],
+            context="resubmit after cancel + drain",
+        )
+
+    def test_zero_token_budget_requests_never_take_a_row(self, model, ragged_prompts):
+        engine = ContinuousBatchingEngine(model, max_batch_rows=2)
+        zero = engine.submit(ragged_prompts[0], max_new_tokens=0)
+        sibling = engine.submit(ragged_prompts[1], max_new_tokens=3)
+        finished = engine.step()
+        assert zero in finished and zero.finish_reason == "length"
+        assert zero.decode_steps == 0
+        np.testing.assert_array_equal(zero.result, ragged_prompts[0])
+        assert engine.batch.num_rows == 1  # only the sibling occupies a row
+        engine.drain()
+        assert_generations_equal(
+            [sibling.result],
+            [model.generate(ragged_prompts[1], max_new_tokens=3)],
+            context="sibling of zero-budget request",
+        )
+
+    def test_cancelled_slot_refills_from_the_queue(self, model, ragged_prompts):
+        engine = ContinuousBatchingEngine(model, max_batch_rows=2)
+        hog = engine.submit(ragged_prompts[0], max_new_tokens=50)
+        other = engine.submit(ragged_prompts[1], max_new_tokens=6)
+        waiting = engine.submit(ragged_prompts[2], max_new_tokens=6)
+        engine.step()
+        assert not waiting.state.admitted
+        engine.cancel(hog)
+        engine.step()  # the freed slot admits the queued request
+        assert waiting.state.admitted
+        engine.drain()
+        assert_generations_equal(
+            [other.result, waiting.result],
+            [
+                model.generate(ragged_prompts[1], max_new_tokens=6),
+                model.generate(ragged_prompts[2], max_new_tokens=6),
+            ],
+            context="refill after cancel",
         )

@@ -8,7 +8,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.flowbench import (
-    ALL_ANOMALIES,
     AnomalySpec,
     WorkflowSimulator,
     build_1000genome_workflow,

@@ -79,10 +79,10 @@ class TestFewShotSelector:
 
     def test_modes_return_requested_composition(self):
         pool = self.make_pool()
-        assert all(l == 0 for _, l in FewShotSelector(pool, mode="neg", seed=0).select(6))
-        assert all(l == 1 for _, l in FewShotSelector(pool, mode="pos", seed=0).select(6))
+        assert all(lab == 0 for _, lab in FewShotSelector(pool, mode="neg", seed=0).select(6))
+        assert all(lab == 1 for _, lab in FewShotSelector(pool, mode="pos", seed=0).select(6))
         mixed = FewShotSelector(pool, mode="mixed", seed=0).select(6)
-        labels = [l for _, l in mixed]
+        labels = [lab for _, lab in mixed]
         assert labels.count(0) == 3 and labels.count(1) == 3
 
     def test_zero_and_negative_k(self):
