@@ -16,6 +16,12 @@ Measures, for the decoder-LM stack that powers every ICL experiment
   driving the :class:`~repro.serving.AsyncEngine` (background stepping
   thread, arrival-driven admission) vs. the synchronous pre-collect-then-
   flush front door on the same trace;
+* paged KV storage — the continuous-batching engine over block-paged
+  (and int8-quantized) KV caches vs. the dense layout on a long-context
+  multi-family trace with byte-budgeted prefix pools: tokens/s at an equal
+  pool byte budget (exact-width, copy-on-write-shared paged entries keep
+  every prompt family resident where dense rectangles thrash) plus the
+  peak resident KV bytes at equal pool capability;
 * ``ICLEngine.evaluate`` throughput (queries/sec) with a shared few-shot
   example block, prefix-cached batched scoring vs. the per-query loop;
 * pooled ICL serving — several engines sharing one LRU
@@ -371,6 +377,129 @@ def bench_concurrent_serving(
     }
 
 
+def bench_paged_kv(
+    model: DecoderLM,
+    families: list[np.ndarray],
+    prompts: list[np.ndarray],
+    max_new_tokens: int,
+    stop_ids: set[int],
+    max_rows: int,
+    pool_budget_bytes: int,
+    repeats: int,
+) -> dict:
+    """Block-paged (and int8) KV storage vs the dense layout, long context.
+
+    The workload is the one paged KV exists for: staggered long-context
+    requests drawn from several prompt *families* (a shared template head
+    plus a per-request tail — the shape of ICL serving traffic), with the
+    prefix-cache pool in the loop.  Two comparisons:
+
+    * **equal memory budget** — both layouts get a byte-capped pool.  A
+      dense entry costs a full-context rectangle, so the budget holds only
+      a couple of families and the LRU thrashes (hit rate ~0); paged
+      entries cost their exact-width (ref-counted, copy-on-write shared)
+      blocks, so the same bytes keep every family resident.  This is the
+      throughput headline: tokens/s paged vs dense.
+    * **equal capability** — both pools uncapped, so hit rates equalise.
+      The peak resident KV bytes (live batch + pool, sampled every step)
+      then show what holding the *same* reusable state costs each layout;
+      int8 block storage shrinks it further.
+
+    Greedy outputs must be token-identical across dense, paged and
+    int8-paged serving (the int8 store quantizes pooled prefixes only; the
+    live decode window stays float32).
+    """
+
+    def run(kv_layout: str, kv_dtype: str = "fp32", budget: int | None = None):
+        pool = PrefixCachePool(
+            model,
+            max_entries=32,
+            min_reuse_tokens=16,
+            max_bytes=budget,
+            kv_layout=kv_layout,
+            kv_dtype=kv_dtype,
+        )
+        engine = ContinuousBatchingEngine(
+            model,
+            max_batch_rows=max_rows,
+            min_admit_rows=1,
+            cache_pool=pool,
+            kv_layout=kv_layout,
+            kv_dtype=kv_dtype,
+        )
+        results = [None] * len(prompts)
+        submitted = 0
+        peak = 0
+        while submitted < len(prompts) or engine.has_work:
+            if submitted < len(prompts):
+                engine.submit(
+                    prompts[submitted], max_new_tokens=max_new_tokens, stop_ids=stop_ids
+                )
+                submitted += 1
+            for request in engine.step():
+                results[request.request_id] = request.result
+            peak = max(peak, engine.batch.cache.kv_bytes() + pool.kv_bytes())
+        return results, peak, pool
+
+    budget = int(pool_budget_bytes)
+    dense_res, dense_budget_peak, dense_pool = run("dense", budget=budget)
+    paged_res, paged_budget_peak, paged_pool = run("paged", budget=budget)
+    int8_res, int8_budget_peak, int8_pool = run("paged", "int8", budget=budget)
+    paged_match = all(np.array_equal(a, b) for a, b in zip(dense_res, paged_res))
+    int8_match = all(np.array_equal(a, b) for a, b in zip(dense_res, int8_res))
+
+    # Equal capability: uncapped pools -> equal hit rates; compare bytes.
+    _, dense_peak, dense_free = run("dense")
+    _, paged_peak, paged_free = run("paged")
+    _, int8_peak, int8_free = run("paged", "int8")
+
+    t_dense = _best_of(lambda: run("dense", budget=budget), repeats)
+    t_paged = _best_of(lambda: run("paged", budget=budget), repeats)
+    t_int8 = _best_of(lambda: run("paged", "int8", budget=budget), repeats)
+    generated = sum(len(r) - len(p) for r, p in zip(dense_res, prompts))
+    return {
+        "num_requests": len(prompts),
+        "num_families": len(families),
+        "prompt_tokens": [int(len(p)) for p in prompts],
+        "max_new_tokens": int(max_new_tokens),
+        "max_batch_rows": int(max_rows),
+        "generated_tokens": int(generated),
+        "pool_budget_bytes": budget,
+        "dense_seconds": t_dense,
+        "paged_seconds": t_paged,
+        "int8_seconds": t_int8,
+        "dense_tokens_per_sec": generated / t_dense,
+        "paged_tokens_per_sec": generated / t_paged,
+        "int8_tokens_per_sec": generated / t_int8,
+        "speedup": t_dense / t_paged,
+        "int8_speedup": t_dense / t_int8,
+        "budget_hit_rate_dense": dense_pool.stats.hit_rate,
+        "budget_hit_rate_paged": paged_pool.stats.hit_rate,
+        "budget_hit_rate_int8": int8_pool.stats.hit_rate,
+        "budget_evictions_dense": int(dense_pool.stats.evictions),
+        "budget_evictions_paged": int(paged_pool.stats.evictions),
+        "budget_peak_kv_bytes": {
+            "dense": int(dense_budget_peak),
+            "paged": int(paged_budget_peak),
+            "int8": int(int8_budget_peak),
+        },
+        "iso_hit_rate": {
+            "dense": dense_free.stats.hit_rate,
+            "paged": paged_free.stats.hit_rate,
+            "int8": int8_free.stats.hit_rate,
+        },
+        "peak_kv_bytes": {
+            "dense": int(dense_peak),
+            "paged": int(paged_peak),
+            "int8": int(int8_peak),
+        },
+        "kv_bytes_ratio_dense_over_paged": dense_peak / paged_peak,
+        "kv_bytes_ratio_dense_over_int8": dense_peak / int8_peak,
+        "tokens_match_paged_vs_dense": bool(paged_match),
+        "tokens_match_int8_vs_dense": bool(int8_match),
+    }
+
+
 def bench_pooled_icl(
     model: DecoderLM,
     tokenizer: LogTokenizer,
@@ -575,6 +704,32 @@ def run(smoke: bool, seed: int) -> dict:
         repeats=repeats,
     )
 
+    # Long-context paged-KV serving: staggered requests from several prompt
+    # families (shared ~64-token template heads + per-request tails, the
+    # shape of ICL serving traffic) through byte-budgeted prefix pools.
+    num_families = 4 if smoke else 6
+    num_paged_requests = 12 if smoke else 24
+    family_heads = [
+        tokenizer.encode_causal(" ".join(sentences[f * 4 : f * 4 + 4]))[:64]
+        for f in range(num_families)
+    ]
+    paged_prompts = []
+    for i in range(num_paged_requests):
+        tail = tokenizer.encode_causal(sentences[(i * 7 + 3) % len(sentences)])[
+            : int(length_rng.integers(12, 32))
+        ]
+        paged_prompts.append(np.concatenate([family_heads[i % num_families], tail]))
+    results["paged_kv"] = bench_paged_kv(
+        model,
+        family_heads,
+        paged_prompts,
+        max_new_tokens=16 if smoke else 24,
+        stop_ids=stop_ids,
+        max_rows=6,
+        pool_budget_bytes=1 << 20,
+        repeats=repeats,
+    )
+
     engine_cached = ICLEngine(model, tokenizer)
     engine_uncached = ICLEngine(model, tokenizer, use_cache=False)
     test = dataset.test.subsample(num_queries, rng=seed)
@@ -627,6 +782,7 @@ def main() -> int:
         "pooled_icl_speedup": 1.0,
         "continuous_batching_speedup": 1.3,
         "concurrent_serving_speedup": 1.2,
+        "paged_kv_speedup": 1.0,
         "logits_rtol": 1e-5,
     }
     args.output.write_text(json.dumps(results, indent=2) + "\n")
@@ -635,6 +791,7 @@ def main() -> int:
     batched, pooled = results["batched_generate"], results["pooled_icl"]
     continuous = results["continuous_batching"]
     concurrent = results["concurrent_serving"]
+    paged = results["paged_kv"]
     print(f"[{results['scale']}] generate: {gen['cached_tokens_per_sec']:.1f} tok/s cached "
           f"vs {gen['uncached_tokens_per_sec']:.1f} tok/s uncached "
           f"({gen['speedup']:.2f}x, tokens_match={gen['tokens_match']})")
@@ -657,6 +814,17 @@ def main() -> int:
           f"{concurrent['sync_flush_tokens_per_sec']:.1f} tok/s sync flush "
           f"({concurrent['speedup']:.2f}x, "
           f"tokens_match={concurrent['tokens_match_async_vs_sequential']})")
+    print(f"[{results['scale']}] paged_kv: {paged['paged_tokens_per_sec']:.1f} tok/s paged "
+          f"vs {paged['dense_tokens_per_sec']:.1f} tok/s dense at a "
+          f"{paged['pool_budget_bytes'] // 1024}KB pool budget "
+          f"({paged['speedup']:.2f}x, int8 {paged['int8_speedup']:.2f}x, "
+          f"hit rate {paged['budget_hit_rate_paged']:.2f} vs "
+          f"{paged['budget_hit_rate_dense']:.2f}; iso-capability KV peak "
+          f"{paged['peak_kv_bytes']['paged'] // 1024}KB paged / "
+          f"{paged['peak_kv_bytes']['int8'] // 1024}KB int8 vs "
+          f"{paged['peak_kv_bytes']['dense'] // 1024}KB dense, "
+          f"tokens_match={paged['tokens_match_paged_vs_dense']}/"
+          f"{paged['tokens_match_int8_vs_dense']})")
     print(f"[{results['scale']}] icl_evaluate: {icl['cached_queries_per_sec']:.1f} q/s cached "
           f"vs {icl['uncached_queries_per_sec']:.1f} q/s uncached "
           f"({icl['speedup']:.2f}x, labels_match={icl['labels_match']})")
@@ -707,6 +875,27 @@ def main() -> int:
             failures.append("async engine produced different tokens than sequential")
         if not concurrent["tokens_match_flush_vs_sequential"]:
             failures.append("sync flush front door produced different tokens than sequential")
+        # Floor is 1.0x at full scale (the paged layout must never cost
+        # throughput); the smoke gate trips at 0.9x to absorb runner noise
+        # on a sub-second workload.
+        if paged["speedup"] < 0.9:
+            failures.append(
+                "paged-KV serving is under 0.9x the dense layout at an equal "
+                "pool budget (floor is 1.0x at full scale)"
+            )
+        if not paged["tokens_match_paged_vs_dense"]:
+            failures.append("paged engine produced different tokens than dense")
+        if not paged["tokens_match_int8_vs_dense"]:
+            failures.append("int8-paged engine produced different tokens than dense")
+        if paged["peak_kv_bytes"]["paged"] >= paged["peak_kv_bytes"]["dense"]:
+            failures.append(
+                "paged KV does not lower the resident-bytes high-water mark "
+                "at equal pool capability"
+            )
+        if paged["budget_hit_rate_paged"] <= paged["budget_hit_rate_dense"]:
+            failures.append(
+                "byte-budgeted paged pool does not out-hit the dense pool"
+            )
         if not continuous["tokens_match_cached_vs_uncached"]:
             failures.append("cached and uncached stop-token generations diverge")
         if not batched["prefill_logits_allclose"]:

@@ -29,6 +29,7 @@ sequential cached path regardless of batch membership or admission order.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -36,6 +37,12 @@ import numpy as np
 
 from repro.models.config import ModelConfig
 from repro.nn import Dropout, Embedding, KVCache, Module, TransformerDecoder
+from repro.nn.paged import (
+    DEFAULT_BLOCK_SIZE,
+    BlockAllocator,
+    PagedKVCache,
+    validate_kv_config,
+)
 from repro.nn.transformer import SinusoidalPositionalEncoding
 from repro.tensor import Tensor, no_grad, functional as F
 from repro.utils.rng import new_rng, spawn_rngs
@@ -48,6 +55,11 @@ __all__ = [
     "common_prefix_length",
     "left_pad_batch",
 ]
+
+
+#: Guards lazy creation of per-model block allocators (submission threads
+#: and stepping threads may race to build the first paged cache).
+_PAGED_ALLOCATOR_LOCK = threading.Lock()
 
 
 def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
@@ -165,6 +177,9 @@ class DecodeBatch:
         model: "DecoderLM",
         capacity: int | None = None,
         compact_slack: int = 16,
+        *,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
     ) -> None:
         capacity = int(capacity or model.config.max_position)
         if not 0 < capacity <= model.config.max_position:
@@ -173,20 +188,32 @@ class DecodeBatch:
             )
         if compact_slack < 0:
             raise ValueError(f"compact_slack must be >= 0, got {compact_slack}")
+        validate_kv_config(kv_layout, kv_dtype)
         self.model = model
         self.capacity = capacity
+        self.kv_layout = kv_layout
+        self.kv_dtype = kv_dtype
         #: Compact once the live end overhangs the widest row by this many
         #: columns.  Without it the live end creeps monotonically under
         #: continuous admission/retirement and every step attends over the
-        #: dead columns departed rows left behind.
+        #: dead columns departed rows left behind.  (For a paged batch only
+        #: the workspace window moves; the block tables are re-aligned by
+        #: bookkeeping alone.)
         self.compact_slack = compact_slack
-        # The shared cache starts small and doubles on demand (hard-capped
-        # at ``capacity``): admission/retirement copy whole row buffers, so
-        # their cost must track the live working set, not the model's
-        # maximum context.
-        self.cache = model.make_cache(0, min(capacity, 64))
+        # The shared dense cache starts small and doubles on demand
+        # (hard-capped at ``capacity``): admission/retirement copy whole row
+        # buffers, so their cost must track the live working set, not the
+        # model's maximum context.  A paged cache has nothing to
+        # preallocate — blocks are claimed as rows fill them.
+        self.cache = self._make_cache(0, min(capacity, 64) if kv_layout == "dense" else capacity)
         self.states: list[DecodeState] = []
         self._mask = np.zeros((0, capacity), dtype=bool)
+
+    def _make_cache(self, batch_size: int, capacity: int):
+        """A fresh cache in this batch's configured KV layout/dtype."""
+        if self.kv_layout == "dense":
+            return self.model.make_cache(batch_size, capacity)
+        return self.model.make_paged_cache(batch_size, capacity, kv_dtype=self.kv_dtype)
 
     def _ensure_columns(self, needed: int) -> None:
         """Grow the allocated cache so ``needed`` columns fit (within capacity)."""
@@ -257,9 +284,10 @@ class DecodeBatch:
         if self._finish_unstartable(state):
             return
         prompt = state.prompt_ids
+        owned = prefill_cache is None
         with no_grad():
             if prefill_cache is None:
-                prefill_cache = self.model.make_cache(1, len(prompt))
+                prefill_cache = self._make_cache(1, len(prompt))
             # Re-forward at least the last prompt token: its logits seed the
             # first decode step.
             past = min(prefill_cache.length, len(prompt) - 1)
@@ -269,6 +297,10 @@ class DecodeBatch:
             )
             log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
         self._admit_prefilled_row(state, prefill_cache, 0, 0, log_probs)
+        if owned and hasattr(prefill_cache, "release"):
+            # A private paged prefill returns its block references now (the
+            # live row holds its own, mostly shared, references).
+            prefill_cache.release()
 
     def admit_many(self, states: Sequence[DecodeState], pad_id: int = 0) -> None:
         """Prefill several requests as one left-padded batch, then admit each.
@@ -294,7 +326,7 @@ class DecodeBatch:
         )
         max_len = int(lengths.max())
         with no_grad():
-            staging = self.model.make_cache(len(todo), max_len)
+            staging = self._make_cache(len(todo), max_len)
             logits = self.model.forward_incremental(
                 ids,
                 staging,
@@ -307,6 +339,8 @@ class DecodeBatch:
             self._admit_prefilled_row(
                 st, staging, i, max_len - int(lengths[i]), log_probs[i]
             )
+        if hasattr(staging, "release"):
+            staging.release()
 
     # ------------------------------------------------------------------ #
     # stepping
@@ -458,6 +492,53 @@ class DecoderLM(Module):
     def make_cache(self, batch_size: int = 1, capacity: int | None = None) -> KVCache:
         """Allocate an empty KV cache sized for this model's context window."""
         return self.decoder.make_cache(batch_size, capacity or self.config.max_position)
+
+    def paged_allocator(
+        self, kv_dtype: str = "fp32", block_size: int | None = None
+    ) -> BlockAllocator:
+        """The model-wide block allocator for ``kv_dtype`` (created on first use).
+
+        Every paged cache of this model draws from the same allocator (one
+        per dtype/block-size), which is what makes prefix sharing work
+        across pool entries, prefill staging and live decode batches: a
+        block id means the same bytes to all of them, so handing a prefix
+        to another cache is a ref-count bump instead of a copy.
+        """
+        block_size = int(block_size or DEFAULT_BLOCK_SIZE)
+        key = (kv_dtype, block_size)
+        with _PAGED_ALLOCATOR_LOCK:
+            allocators = self.__dict__.setdefault("_paged_allocators", {})
+            if key not in allocators:
+                attention = self.decoder.layers[0].attention
+                allocators[key] = BlockAllocator(
+                    attention.num_heads,
+                    attention.head_dim,
+                    block_size=block_size,
+                    kv_dtype=kv_dtype,
+                )
+            return allocators[key]
+
+    def make_paged_cache(
+        self,
+        batch_size: int = 1,
+        capacity: int | None = None,
+        *,
+        kv_dtype: str = "fp32",
+        block_size: int | None = None,
+    ) -> PagedKVCache:
+        """Allocate an empty block-paged KV cache (optionally int8-quantized).
+
+        Implements the same protocol as :meth:`make_cache`'s dense result,
+        storing rows as ref-counted block tables — see
+        :mod:`repro.nn.paged`.  ``capacity`` is a logical bound only;
+        nothing is preallocated.
+        """
+        return PagedKVCache(
+            self.config.num_layers,
+            batch_size,
+            self.paged_allocator(kv_dtype, block_size),
+            capacity or self.config.max_position,
+        )
 
     def forward_incremental(
         self,
@@ -728,6 +809,8 @@ class DecoderLM(Module):
         stop_ids: set[int] | None = None,
         rng: np.random.Generator | int | None = None,
         pad_id: int = 0,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
     ) -> list[np.ndarray]:
         """Autoregressively extend many 1-D prompts in one cache-backed loop.
 
@@ -766,7 +849,7 @@ class DecoderLM(Module):
             )
         rng = new_rng(rng)
         capacity = min(max_len + max(max_new_tokens, 0), self.config.max_position)
-        batch = DecodeBatch(self, capacity=capacity)
+        batch = DecodeBatch(self, capacity=capacity, kv_layout=kv_layout, kv_dtype=kv_dtype)
         states = [
             DecodeState(
                 prompt_ids=a,
@@ -781,9 +864,20 @@ class DecoderLM(Module):
             batch.step(rng)
         return [st.output() for st in states]
 
-    def make_decode_batch(self, capacity: int | None = None) -> DecodeBatch:
-        """A fresh live :class:`DecodeBatch` (the continuous-batching core)."""
-        return DecodeBatch(self, capacity)
+    def make_decode_batch(
+        self,
+        capacity: int | None = None,
+        *,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
+    ) -> DecodeBatch:
+        """A fresh live :class:`DecodeBatch` (the continuous-batching core).
+
+        ``kv_layout="paged"`` stores the live rows as ref-counted block
+        tables (``kv_dtype="int8"`` additionally quantizes the block
+        store); greedy outputs are identical to the dense layout.
+        """
+        return DecodeBatch(self, capacity, kv_layout=kv_layout, kv_dtype=kv_dtype)
 
     def decode_step(
         self, batch: DecodeBatch, rng: np.random.Generator | None = None

@@ -11,6 +11,7 @@ blocks).
 from repro.nn.module import Module, Parameter, ModuleList, Sequential
 from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout, GELU, ReLU, Tanh
 from repro.nn.attention import KVCache, LayerKVCache, MultiHeadAttention
+from repro.nn.paged import BlockAllocator, PagedKVCache, PagedLayerKVCache
 from repro.nn.transformer import (
     FeedForward,
     TransformerEncoderLayer,
@@ -35,6 +36,9 @@ __all__ = [
     "KVCache",
     "LayerKVCache",
     "MultiHeadAttention",
+    "BlockAllocator",
+    "PagedKVCache",
+    "PagedLayerKVCache",
     "FeedForward",
     "TransformerEncoderLayer",
     "TransformerDecoderLayer",

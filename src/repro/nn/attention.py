@@ -42,9 +42,15 @@ class LayerKVCache:
     tracks how many positions are currently filled.  ``append`` writes the
     new keys/values in place and returns views of the filled region, so the
     steady-state decode step allocates nothing cache-related.
+
+    The row axis carries *slack*: ``rows`` live rows may sit in a larger
+    allocation, so row admission under continuous batching appends in place
+    (amortised reallocation) instead of rebuilding the whole batch per
+    admitted row.  ``batch_size`` always reports the live rows; the slack
+    rows beyond it hold stale data and must never be read.
     """
 
-    __slots__ = ("keys", "values", "length")
+    __slots__ = ("keys", "values", "length", "rows")
 
     def __init__(self, batch_size: int, num_heads: int, capacity: int, head_dim: int) -> None:
         if capacity <= 0:
@@ -52,6 +58,7 @@ class LayerKVCache:
         self.keys = np.zeros((batch_size, num_heads, capacity, head_dim), dtype=np.float32)
         self.values = np.zeros((batch_size, num_heads, capacity, head_dim), dtype=np.float32)
         self.length = 0
+        self.rows = batch_size
 
     @property
     def capacity(self) -> int:
@@ -59,7 +66,15 @@ class LayerKVCache:
 
     @property
     def batch_size(self) -> int:
-        return self.keys.shape[0]
+        return self.rows
+
+    @property
+    def num_heads(self) -> int:
+        return self.keys.shape[1]
+
+    @property
+    def head_dim(self) -> int:
+        return self.keys.shape[3]
 
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Store ``k``/``v`` of shape (batch, heads, s, head_dim); return full views."""
@@ -70,10 +85,21 @@ class LayerKVCache:
                 f"KV cache overflow: appending {k.shape[2]} positions at length "
                 f"{start} exceeds capacity {self.capacity}"
             )
-        self.keys[:, :, start:stop] = k
-        self.values[:, :, start:stop] = v
+        self.keys[: self.rows, :, start:stop] = k
+        self.values[: self.rows, :, start:stop] = v
         self.length = stop
-        return self.keys[:, :, :stop], self.values[:, :, :stop]
+        return self.keys[: self.rows, :, :stop], self.values[: self.rows, :, :stop]
+
+    def read_span(self, row: int, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """Keys/values of one row's columns ``[start, stop)`` as float32 views.
+
+        The cross-layout interop primitive: admission between dense and
+        block-paged caches reads the donor row through this method, so
+        neither side needs to know the other's storage layout.
+        """
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} outside batch of {self.rows}")
+        return self.keys[row, :, start:stop], self.values[row, :, start:stop]
 
     def truncate(self, length: int) -> None:
         """Roll the cache back to ``length`` filled positions (keeps the buffers)."""
@@ -93,7 +119,17 @@ class LayerKVCache:
         for name in ("keys", "values"):
             old = getattr(self, name)
             new = np.zeros(old.shape[:2] + (capacity,) + old.shape[3:], dtype=old.dtype)
-            new[:, :, : self.length] = old[:, :, : self.length]
+            new[: self.rows, :, : self.length] = old[: self.rows, :, : self.length]
+            setattr(self, name, new)
+
+    def grow_rows(self, rows: int) -> None:
+        """Reallocate the row axis to hold at least ``rows`` rows (with slack)."""
+        if rows <= self.keys.shape[0]:
+            return
+        for name in ("keys", "values"):
+            old = getattr(self, name)
+            new = np.zeros((rows,) + old.shape[1:], dtype=old.dtype)
+            new[: self.rows] = old[: self.rows]
             setattr(self, name, new)
 
 
@@ -139,18 +175,25 @@ class KVCache:
         """Copy of the first ``length`` cached positions; the donor is untouched.
 
         Used by the prefix-cache pool to serve a *partial* overlap without
-        consuming (and truncating) the longer pooled entry.
+        consuming (and truncating) the longer pooled entry.  ``capacity``
+        must be able to hold the cloned prefix — a smaller value raises a
+        clear ``ValueError`` instead of dying inside numpy broadcasting
+        (``None`` sizes the clone exactly to ``length``).
         """
         if not 0 <= length <= self.length:
             raise ValueError(f"cannot clone {length} positions of a length-{self.length} cache")
-        heads = self.layers[0].keys.shape[1] if self.layers else 0
-        head_dim = self.layers[0].keys.shape[3] if self.layers else 0
+        if capacity is not None and capacity < length:
+            raise ValueError(
+                f"clone capacity {capacity} cannot hold the {length}-position prefix"
+            )
+        heads = self.layers[0].num_heads if self.layers else 0
+        head_dim = self.layers[0].head_dim if self.layers else 0
         out = KVCache(
             len(self.layers), self.batch_size, heads, head_dim, max(capacity or length, 1)
         )
         for src, dst in zip(self.layers, out.layers):
-            dst.keys[:, :, :length] = src.keys[:, :, :length]
-            dst.values[:, :, :length] = src.values[:, :, :length]
+            dst.keys[:, :, :length] = src.keys[: src.rows, :, :length]
+            dst.values[:, :, :length] = src.values[: src.rows, :, :length]
             dst.length = length
         return out
 
@@ -172,9 +215,12 @@ class KVCache:
         every row keeps a contiguous filled span ending at ``length``.
         """
         if self.layers and src.layers:
-            src_shape = src.layers[0].keys.shape
-            own_shape = self.layers[0].keys.shape
-            if src_shape[1] != own_shape[1] or src_shape[3] != own_shape[3]:
+            src_layer = src.layers[0]
+            own_layer = self.layers[0]
+            if (
+                src_layer.num_heads != own_layer.num_heads
+                or src_layer.head_dim != own_layer.head_dim
+            ):
                 raise ValueError("admit_row requires matching head geometry")
         if len(src.layers) != len(self.layers):
             raise ValueError(
@@ -197,30 +243,46 @@ class KVCache:
             )
         start = new_length - width
         for own, other in zip(self.layers, src.layers):
-            row = np.zeros((1,) + own.keys.shape[1:], dtype=own.keys.dtype)
-            row_v = np.zeros_like(row)
-            row[0, :, start:new_length] = other.keys[src_row, :, src_start : src.length]
-            row_v[0, :, start:new_length] = other.values[src_row, :, src_start : src.length]
-            own.keys = np.concatenate([own.keys, row], axis=0)
-            own.values = np.concatenate([own.values, row_v], axis=0)
+            if own.rows == own.keys.shape[0]:
+                # Amortised slack growth: 1.5x keeps the copy cost of a
+                # stream of admissions linear instead of quadratic, without
+                # doubling the resident KV footprint.
+                own.grow_rows(own.rows + max(2, own.rows // 2))
+            row = own.rows
+            # The slack row may hold a retired row's stale columns.
+            own.keys[row] = 0.0
+            own.values[row] = 0.0
+            k_span, v_span = other.read_span(src_row, src_start, src.length)
+            own.keys[row, :, start:new_length] = k_span
+            own.values[row, :, start:new_length] = v_span
+            own.rows = row + 1
             own.length = new_length
         return start
 
     def retire_rows(self, keep: np.ndarray) -> None:
         """Drop every row not listed in ``keep`` (order of ``keep`` is preserved).
 
-        ``keep`` is an integer index array into the current batch.  Retiring
-        down to zero rows resets the length so the next admission starts a
-        fresh live batch.
+        ``keep`` is an integer index array into the current batch; duplicate
+        indices are rejected — silently duplicating a live row would corrupt
+        the row<->request binding of a live decode batch.  Retiring down to
+        zero rows resets the length so the next admission starts a fresh
+        live batch.
         """
         keep = np.asarray(keep, dtype=np.int64).ravel()
-        if keep.size and (keep.min() < 0 or keep.max() >= self.batch_size):
-            raise ValueError(
-                f"row indices {keep.tolist()} outside batch of {self.batch_size}"
-            )
+        if keep.size:
+            if keep.min() < 0 or keep.max() >= self.batch_size:
+                raise ValueError(
+                    f"row indices {keep.tolist()} outside batch of {self.batch_size}"
+                )
+            if np.unique(keep).size != keep.size:
+                raise ValueError(
+                    f"duplicate row indices in keep: {keep.tolist()} — a row may "
+                    f"be kept at most once"
+                )
         for layer in self.layers:
             layer.keys = layer.keys[keep]
             layer.values = layer.values[keep]
+            layer.rows = int(keep.size)
             if keep.size == 0:
                 layer.length = 0
 
@@ -283,10 +345,19 @@ class KVCache:
             max(length + extra_capacity, 1),
         )
         for src, dst in zip(self.layers, out.layers):
-            dst.keys[:, :, :length] = src.keys[:, :, :length]
-            dst.values[:, :, :length] = src.values[:, :, :length]
+            dst.keys[:, :, :length] = src.keys[: src.rows, :, :length]
+            dst.values[:, :, :length] = src.values[: src.rows, :, :length]
             dst.length = length
         return out
+
+    def kv_bytes(self) -> int:
+        """Resident bytes of KV storage (allocated buffers, slack included).
+
+        The dense counterpart of :meth:`repro.nn.paged.PagedKVCache.kv_bytes`;
+        the paged-KV benchmark compares both as the KV-memory high-water
+        mark of a serving trace.
+        """
+        return sum(layer.keys.nbytes + layer.values.nbytes for layer in self.layers)
 
 
 def fuse_qkv_linears(q: Linear, k: Linear, v: Linear) -> Linear:
@@ -383,11 +454,16 @@ class MultiHeadAttention(Module):
             ``key_len`` is the total attended length — equal to ``seq``
             without a cache, ``cache.length + seq`` with one.
         cache:
-            Optional :class:`LayerKVCache`.  The new keys/values are appended
-            to it and attention runs against the full cached history with the
-            causal mask offset so position ``i`` of the new block attends to
-            every cached position plus new positions ``<= i``.  Only valid
-            for causal attention.
+            Optional :class:`LayerKVCache` (or block-paged
+            :class:`~repro.nn.paged.PagedLayerKVCache`).  The new keys/values
+            are appended to it and attention runs against the full cached
+            history with the causal mask offset so position ``i`` of the new
+            block attends to every cached position plus new positions
+            ``<= i``.  Dense caches hand back zero-copy views of their
+            buffers; paged caches hand back freshly *gathered* float32
+            arrays assembled from their blocks (int8 block stores dequantize
+            during the gather), so attention itself is storage-agnostic.
+            Only valid for causal attention.
         """
         batch, seq, _ = x.shape
         h = self.hidden_size

@@ -1,0 +1,984 @@
+"""Block-paged (and optionally int8-quantized) key/value storage.
+
+The dense :class:`~repro.nn.attention.KVCache` stores a live decode batch as
+one rectangular buffer per layer: every row is allocated the widest row's
+capacity, pooled prefix entries each preallocate a full-context rectangle,
+and serving a pooled partial overlap copies the shared prefix.  Under
+staggered long-context traffic that over-allocates (rectangle = batch x
+widest row, pool = entries x max context) and re-copies on every pool
+checkout.
+
+This module stores the *persistent* KV state as *block tables* over a pool
+of fixed-size, ref-counted column blocks — the vLLM paged-attention memory
+layout, adapted to this repo's numpy stepping core:
+
+* :class:`BlockAllocator` owns the block storage (float32, or int8 codes
+  with per-position float32 scales) and the ref-counts.  Blocks shared by
+  several rows / caches are copy-on-write: writers call
+  ``ensure_exclusive`` before touching a block, so a prefix checked into
+  the :class:`~repro.serving.pool.PrefixCachePool` can back any number of
+  live rows and clones without being copied until someone appends over it.
+* :class:`PagedLayerKVCache` / :class:`PagedKVCache` implement the dense
+  cache protocol (``append`` / ``truncate`` / ``grow`` / ``clone_prefix`` /
+  ``admit_row`` / ``retire_rows`` / ``realign`` / ``expand``) on block
+  tables.  Admission hands a prefilled row over by *sharing* its blocks,
+  retirement is a table edit, and ``clone_prefix`` / ``expand`` are pure
+  ref-count bumps — the copies the dense pool pays per checkout simply do
+  not happen.
+* Attention never reads blocks directly.  Each cache maintains a dense
+  float32 **workspace** — the gathered window of its live rows, in exactly
+  the right-aligned layout the dense cache's buffers have — written
+  *through* on every append and handed to
+  :class:`~repro.nn.MultiHeadAttention` as zero-copy views, so the
+  steady-state decode step costs the same as the dense path.  (On a GPU
+  this materialisation is what a fused paged-attention kernel does per
+  step in registers; in numpy it is a resident window, counted honestly in
+  :meth:`PagedKVCache.kv_bytes`.)  The workspace is *disposable*: pool
+  entries drop theirs at check-in (:meth:`PagedKVCache.release_workspace`)
+  and it is rebuilt from the blocks on the next use, which is what makes a
+  pooled paged entry cost its blocks — shared, exact-width, optionally
+  int8 — rather than a full-context rectangle.
+
+With ``kv_dtype="int8"`` the block store quantizes each (head, position)
+vector to signed bytes with a float32 scale (relative error ~1/254).  A
+position is quantized exactly once — at its first flush — and the stored
+values are echoed back into the flushing workspace, so from the moment a
+position is *persisted* every reader (the owner's workspace, a sharing
+cache's copy, a later rebuild from the blocks) sees the identical
+dequantized bytes: results never depend on when a workspace happened to
+be rebuilt.  Unpersisted positions (a live row's not-yet-shared tail)
+exist only in their own float32 workspace — quantization applies to KV
+state *at rest*, exactly like the dense-vs-int8 trade a recompute-vs-
+cache-hit makes.  Float32 pages hold bit-identical copies of the dense
+cache's keys/values, so greedy decoding through a paged batch emits the
+same tokens as the dense path; int8 decoding stays token-identical in
+practice on the models this repo serves (pinned, with fixed seeds, by
+``tests/test_paged_kv.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockAllocator",
+    "PagedLayerKVCache",
+    "PagedKVCache",
+    "validate_kv_config",
+]
+
+
+def validate_kv_config(kv_layout: str, kv_dtype: str) -> None:
+    """Reject inconsistent KV storage configuration (single source of truth
+    for every layer that accepts ``kv_layout``/``kv_dtype``)."""
+    if kv_layout not in ("dense", "paged"):
+        raise ValueError(f"kv_layout must be 'dense' or 'paged', got {kv_layout!r}")
+    if kv_dtype not in _KV_DTYPES:
+        raise ValueError(f"kv_dtype must be one of {_KV_DTYPES}, got {kv_dtype!r}")
+    if kv_layout == "dense" and kv_dtype != "fp32":
+        raise ValueError("int8 KV storage requires kv_layout='paged'")
+
+#: Columns per block.  Small enough that a ragged row wastes at most a few
+#: positions of tail fragmentation, large enough that gathers move data in
+#: meaningful slabs.
+DEFAULT_BLOCK_SIZE = 16
+
+_KV_DTYPES = ("fp32", "int8")
+
+#: int8 quantization maps each (head, position) key/value vector onto
+#: [-127, 127] with a per-vector float32 scale.
+_Q_MAX = 127.0
+
+
+class BlockAllocator:
+    """Ref-counted pool of fixed-size KV column blocks for one model geometry.
+
+    One allocator backs *every* paged cache of a model (per kv-dtype), so
+    block ids are meaningful across caches: admitting a prefilled row into a
+    live batch, cloning a pooled prefix, or expanding a prompt cache across
+    candidates is a table copy plus ``incref`` — zero data movement.
+
+    Storage grows by doubling and freed blocks are recycled through a free
+    list.  All bookkeeping (alloc/free/ref-counts) is guarded by a lock so
+    caches owned by different threads (e.g. an async engine's stepping
+    thread beside a synchronous scorer) can share the allocator; the block
+    *contents* are still single-writer by the copy-on-write contract.
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        kv_dtype: str = "fp32",
+        initial_blocks: int = 64,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        if kv_dtype not in _KV_DTYPES:
+            raise ValueError(f"kv_dtype must be one of {_KV_DTYPES}, got {kv_dtype!r}")
+        if num_heads <= 0 or head_dim <= 0:
+            raise ValueError("block geometry needs positive num_heads and head_dim")
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.block_size = block_size
+        self.kv_dtype = kv_dtype
+        # Re-entrant: content I/O (write/gather) locks around storage access
+        # and may call alloc()/ensure_exclusive() while holding it.  The
+        # lock must cover *reads and writes of block contents* too, not just
+        # the bookkeeping: _grow_storage rebinds the storage arrays, so an
+        # unlocked writer could otherwise land its data in an orphaned array
+        # while another thread's alloc() grows the pool.
+        self._lock = threading.RLock()
+        self._free: list[int] = []
+        self._refcounts = np.zeros(0, dtype=np.int64)
+        store = np.float32 if kv_dtype == "fp32" else np.int8
+        # Heads-first storage, blocks on axis 1: a row gather is then one
+        # contiguous fancy-index (``storage[:, table]``) whose reshape to
+        # (heads, positions, head_dim) is free — no transpose copy.
+        self._keys = np.zeros((num_heads, 0, block_size, head_dim), dtype=store)
+        self._values = np.zeros((num_heads, 0, block_size, head_dim), dtype=store)
+        if kv_dtype == "int8":
+            self._key_scales = np.zeros((num_heads, 0, block_size), dtype=np.float32)
+            self._value_scales = np.zeros((num_heads, 0, block_size), dtype=np.float32)
+        self._initial_blocks = max(int(initial_blocks), 1)
+        self.blocks_in_use = 0
+        #: High-water mark of blocks simultaneously referenced, for the
+        #: paged-KV benchmark's bytes accounting.
+        self.peak_blocks_in_use = 0
+
+    # ------------------------------------------------------------------ #
+    # sizing
+    # ------------------------------------------------------------------ #
+    @property
+    def num_blocks(self) -> int:
+        """Blocks currently backed by storage (in use + free-listed)."""
+        return self._keys.shape[1]
+
+    @property
+    def block_bytes(self) -> int:
+        """Resident bytes of one block (keys + values + scales)."""
+        per_pos = self.num_heads * self.head_dim * self._keys.dtype.itemsize
+        scales = 0
+        if self.kv_dtype == "int8":
+            scales = 2 * self.num_heads * 4  # fp32 key + value scale per position
+        return self.block_size * (2 * per_pos + scales)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self.blocks_in_use * self.block_bytes
+
+    @property
+    def peak_bytes_in_use(self) -> int:
+        return self.peak_blocks_in_use * self.block_bytes
+
+    def _grow_storage(self, needed: int) -> None:
+        have = self.num_blocks
+        if needed <= have:
+            return
+        new_total = max(needed, have * 2, self._initial_blocks)
+        for name in ("_keys", "_values", "_key_scales", "_value_scales"):
+            old = getattr(self, name, None)
+            if old is None:
+                continue
+            new = np.zeros(old.shape[:1] + (new_total,) + old.shape[2:], dtype=old.dtype)
+            new[:, :have] = old
+            setattr(self, name, new)
+        refs = np.zeros(new_total, dtype=np.int64)
+        refs[: self._refcounts.size] = self._refcounts
+        self._refcounts = refs
+        # Appended high-to-low so pops hand out ascending block ids.
+        self._free.extend(range(new_total - 1, have - 1, -1))
+
+    # ------------------------------------------------------------------ #
+    # ref-counted block lifecycle
+    # ------------------------------------------------------------------ #
+    def alloc(self) -> int:
+        """Reserve one block (ref-count 1).  Contents are unspecified."""
+        with self._lock:
+            if not self._free:
+                self._grow_storage(self.num_blocks + 1)
+            block = self._free.pop()
+            self._refcounts[block] = 1
+            self.blocks_in_use += 1
+            self.peak_blocks_in_use = max(self.peak_blocks_in_use, self.blocks_in_use)
+            return block
+
+    def incref(self, blocks: Iterable[int]) -> None:
+        with self._lock:
+            refs = self._refcounts
+            for block in blocks:
+                refs[block] += 1
+
+    def decref(self, blocks: Iterable[int]) -> None:
+        with self._lock:
+            refs = self._refcounts
+            freed = 0
+            for block in blocks:
+                refs[block] -= 1
+                if refs[block] == 0:
+                    self._free.append(block)
+                    freed += 1
+                elif refs[block] < 0:  # pragma: no cover - defensive
+                    raise RuntimeError(f"block {block} freed more times than referenced")
+            self.blocks_in_use -= freed
+
+    def refcount(self, block: int) -> int:
+        with self._lock:
+            return int(self._refcounts[block])
+
+    def ensure_exclusive(self, block: int) -> int:
+        """Return a block id the caller may write: ``block`` itself when it is
+        the sole owner, otherwise a fresh copy (the shared original keeps its
+        remaining references).  This is the copy-on-write primitive."""
+        with self._lock:
+            if self._refcounts[block] == 1:
+                return block
+            fresh = self.alloc()
+            self._keys[:, fresh] = self._keys[:, block]
+            self._values[:, fresh] = self._values[:, block]
+            if self.kv_dtype == "int8":
+                self._key_scales[:, fresh] = self._key_scales[:, block]
+                self._value_scales[:, fresh] = self._value_scales[:, block]
+            self.decref([block])
+            return fresh
+
+    def make_writable(self, table: list, first: int, last: int) -> None:
+        """Make ``table[first..last]`` safe for this caller to write, in one
+        locked pass: indices past the table's end get fresh blocks, shared
+        blocks in range are split copy-on-write (the table is edited in
+        place)."""
+        with self._lock:
+            refs = self._refcounts
+            for index in range(first, last + 1):
+                if index == len(table):
+                    table.append(self.alloc())
+                elif refs[table[index]] != 1:
+                    table[index] = self.ensure_exclusive(table[index])
+
+    # ------------------------------------------------------------------ #
+    # block I/O
+    # ------------------------------------------------------------------ #
+    def _quantize(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(heads, n, head_dim) float32 -> (int8 codes, per-(head, pos) scales)."""
+        scale = np.abs(x).max(axis=-1) / _Q_MAX
+        scale = np.where(scale < 1e-12, 1.0, scale).astype(np.float32)
+        q = np.clip(np.round(x / scale[..., None]), -_Q_MAX, _Q_MAX).astype(np.int8)
+        return q, scale
+
+    def write(
+        self, block: int, offset: int, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Store float32 ``k``/``v`` of shape (heads, n, head_dim) at ``offset``.
+
+        The caller must own the block exclusively (``ensure_exclusive`` /
+        ``make_writable``).  Returns the *stored* values as float32 —
+        identical to the inputs for fp32 blocks, the dequantized codes for
+        int8 — so flushing workspaces can mirror exactly what a later
+        gather will read.  Quantization happens per position, so a block's
+        stored bytes depend only on the token history it holds, never on
+        when or in which batch the positions were appended.
+        """
+        n = k.shape[1]
+        stop = offset + n
+        if self.kv_dtype == "fp32":
+            with self._lock:
+                self._keys[:, block, offset:stop] = k
+                self._values[:, block, offset:stop] = v
+            return k, v
+        qk, sk = self._quantize(np.asarray(k, dtype=np.float32))
+        qv, sv = self._quantize(np.asarray(v, dtype=np.float32))
+        with self._lock:
+            self._keys[:, block, offset:stop] = qk
+            self._values[:, block, offset:stop] = qv
+            self._key_scales[:, block, offset:stop] = sk
+            self._value_scales[:, block, offset:stop] = sv
+        return qk.astype(np.float32) * sk[..., None], qv.astype(np.float32) * sv[..., None]
+
+    def write_scatter(
+        self,
+        blocks: np.ndarray,
+        offsets: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Store (heads, s, head_dim) positions at per-position block/offset
+        pairs in one advanced-index write — the multi-block flush path.
+
+        Same ownership contract and stored-value echo as :meth:`write`.
+        """
+        if self.kv_dtype == "fp32":
+            with self._lock:
+                self._keys[:, blocks, offsets] = k
+                self._values[:, blocks, offsets] = v
+            return k, v
+        qk, sk = self._quantize(np.asarray(k, dtype=np.float32))
+        qv, sv = self._quantize(np.asarray(v, dtype=np.float32))
+        with self._lock:
+            self._keys[:, blocks, offsets] = qk
+            self._values[:, blocks, offsets] = qv
+            self._key_scales[:, blocks, offsets] = sk
+            self._value_scales[:, blocks, offsets] = sv
+        return qk.astype(np.float32) * sk[..., None], qv.astype(np.float32) * sv[..., None]
+
+    def gather_row(
+        self,
+        table: Sequence[int],
+        width: int,
+        out_k: np.ndarray,
+        out_v: np.ndarray,
+        start: int,
+    ) -> None:
+        """Assemble one row's first ``width`` positions into dense float32 output.
+
+        ``out_k``/``out_v`` are (heads, columns, head_dim) destination rows;
+        the positions land in columns ``[start, start + width)`` (the
+        right-aligned presentation the decode mask expects).  int8 stores
+        dequantize here — consumers only ever see float32.
+        """
+        if width == 0:
+            return
+        table = list(table)
+        heads = self.num_heads
+        with self._lock:
+            # Contiguous fancy-index: (heads, nb, bs, hd) reshapes to the
+            # merged (heads, positions, hd) row for free.
+            merged_k = self._keys[:, table].reshape(heads, -1, self.head_dim)[:, :width]
+            merged_v = self._values[:, table].reshape(heads, -1, self.head_dim)[:, :width]
+            if self.kv_dtype == "fp32":
+                out_k[:, start : start + width] = merged_k
+                out_v[:, start : start + width] = merged_v
+                return
+            sk = self._key_scales[:, table].reshape(heads, -1)[:, :width]
+            sv = self._value_scales[:, table].reshape(heads, -1)[:, :width]
+            np.multiply(merged_k, sk[..., None], out=out_k[:, start : start + width])
+            np.multiply(merged_v, sv[..., None], out=out_v[:, start : start + width])
+
+    def read_positions(
+        self, table: Sequence[int], pos_start: int, pos_stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Float32 keys/values of physical positions ``[pos_start, pos_stop)``."""
+        bs = self.block_size
+        first = pos_start // bs
+        last = (pos_stop + bs - 1) // bs
+        span = pos_stop - first * bs
+        tmp_k = np.zeros((self.num_heads, span, self.head_dim), dtype=np.float32)
+        tmp_v = np.zeros_like(tmp_k)
+        self.gather_row(table[first:last], span, tmp_k, tmp_v, 0)
+        offset = pos_start - first * bs
+        return tmp_k[:, offset:], tmp_v[:, offset:]
+
+
+class PagedLayerKVCache:
+    """Block-table KV storage for one attention layer.
+
+    Presents the dense :class:`~repro.nn.attention.LayerKVCache` interface:
+    a shared logical ``length`` with every row's filled span right-aligned
+    against it.  Physically each row owns only its ``width`` filled
+    positions; the logical start column ``length - width`` is derived,
+    which is why sharing and table edits replace the dense path's copies.
+
+    Storage is two-tier, *write-behind*:
+
+    * the **workspace** — a dense float32 window over the live rows,
+      row-slack-allocated like the dense buffers — receives every append
+      and serves every read while resident;
+    * the **block store** receives a row's positions lazily, when the row
+      crosses a persistence boundary: the cache is checked into the prefix
+      pool (:meth:`release_workspace`), the row is shared into another
+      cache (``admit_row`` / ``clone_prefix`` / ``expand``), or someone
+      asks for a flush explicitly.  ``flushed[row]`` tracks how many
+      positions the blocks hold; rows that retire before ever being shared
+      are simply discarded and never pay a block write.
+
+    The steady-state decode step therefore performs exactly the dense
+    cache's stores, while the persistent state keeps the paged properties:
+    exact-width, ref-counted, copy-on-write shareable, optionally int8.
+    """
+
+    __slots__ = (
+        "allocator",
+        "tables",
+        "widths",
+        "flushed",
+        "length",
+        "_capacity",
+        "_ws_k",
+        "_ws_v",
+    )
+
+    def __init__(self, allocator: BlockAllocator, batch_size: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.allocator = allocator
+        self.tables: list[list[int]] = [[] for _ in range(batch_size)]
+        self.widths: list[int] = [0] * batch_size
+        #: Per-row count of positions persisted to the block store; the
+        #: suffix ``[flushed, width)`` lives only in the workspace.
+        self.flushed: list[int] = [0] * batch_size
+        self.length = 0
+        self._capacity = capacity
+        self._ws_k: np.ndarray | None = None
+        self._ws_v: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.tables)
+
+    @property
+    def num_heads(self) -> int:
+        return self.allocator.num_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.allocator.head_dim
+
+    @property
+    def has_workspace(self) -> bool:
+        return self._ws_k is not None
+
+    def _blocks_for(self, width: int) -> int:
+        bs = self.allocator.block_size
+        return (width + bs - 1) // bs
+
+    # ------------------------------------------------------------------ #
+    # workspace maintenance
+    # ------------------------------------------------------------------ #
+    def workspace_bytes(self) -> int:
+        if self._ws_k is None:
+            return 0
+        return self._ws_k.nbytes + self._ws_v.nbytes
+
+    def _ensure_workspace(self, rows: int, cols: int) -> None:
+        """Make the workspace valid and at least (rows, cols); rebuild from
+        the blocks when it was released (every position is flushed then)."""
+        ws = self._ws_k
+        if ws is not None and ws.shape[0] >= rows and ws.shape[2] >= cols:
+            return  # steady-state decode: nothing to do
+        rows = max(rows, self.batch_size)
+        cols = min(max(cols, self.length, 1), max(self._capacity, 1))
+        if ws is None:
+            shape = (rows, self.num_heads, cols, self.head_dim)
+            self._ws_k = np.zeros(shape, dtype=np.float32)
+            self._ws_v = np.zeros(shape, dtype=np.float32)
+            for row in range(self.batch_size):
+                width = self.widths[row]
+                self.allocator.gather_row(
+                    self.tables[row],
+                    width,
+                    self._ws_k[row],
+                    self._ws_v[row],
+                    self.length - width,
+                )
+            return
+        have_rows, _, have_cols, _ = ws.shape
+        # Amortised growth (like the dense buffers): row slack so a stream
+        # of admissions appends in place, column doubling bounded by the
+        # logical capacity.
+        new_rows = have_rows
+        if rows > have_rows:
+            new_rows = max(rows, have_rows + max(2, have_rows // 2))
+        new_cols = have_cols
+        if cols > have_cols:
+            new_cols = min(max(cols, 2 * have_cols), max(self._capacity, cols))
+        for name in ("_ws_k", "_ws_v"):
+            old = getattr(self, name)
+            new = np.zeros(
+                (new_rows, self.num_heads, new_cols, self.head_dim), dtype=np.float32
+            )
+            new[: self.batch_size, :, : self.length] = old[
+                : self.batch_size, :, : self.length
+            ]
+            setattr(self, name, new)
+
+    def flush_row(self, row: int) -> None:
+        """Persist the row's workspace-only suffix ``[flushed, width)`` into
+        the block store (one batched scatter; no-op when already flushed).
+
+        Quantization — when the store is int8 — happens here, once per
+        position: a position's stored bytes are fixed at its first flush
+        and never rewritten, so block contents depend only on the token
+        history, never on batch membership or flush timing.  The *stored*
+        values are echoed back into the workspace, so from the moment a
+        position is persisted every reader — this cache's workspace, a
+        sharing cache's copy, a later rebuild from the blocks — sees the
+        identical (for int8: dequantized) bytes.
+        """
+        width = self.widths[row]
+        start = self.flushed[row]
+        if start >= width:
+            return
+        allocator = self.allocator
+        bs = allocator.block_size
+        table = self.tables[row]
+        allocator.make_writable(table, start // bs, (width - 1) // bs)
+        ws_col = self.length - width
+        k = self._ws_k[row, :, ws_col + start : ws_col + width]
+        v = self._ws_v[row, :, ws_col + start : ws_col + width]
+        if start // bs == (width - 1) // bs:
+            stored_k, stored_v = allocator.write(table[start // bs], start % bs, k, v)
+        else:
+            positions = np.arange(start, width)
+            blocks = np.asarray(table, dtype=np.int64)[positions // bs]
+            stored_k, stored_v = allocator.write_scatter(blocks, positions % bs, k, v)
+        if allocator.kv_dtype != "fp32":
+            self._ws_k[row, :, ws_col + start : ws_col + width] = stored_k
+            self._ws_v[row, :, ws_col + start : ws_col + width] = stored_v
+        self.flushed[row] = width
+
+    def release_workspace(self) -> None:
+        """Flush every row to the block store, then drop the dense window.
+
+        The prefix pool calls this at check-in so a resting pooled entry
+        costs exactly its (shared, possibly int8) blocks; the next
+        structural use rebuilds the window from them.
+        """
+        if self._ws_k is None:
+            return
+        for row in range(self.batch_size):
+            self.flush_row(row)
+        self._ws_k = None
+        self._ws_v = None
+
+    # ------------------------------------------------------------------ #
+    # the dense-layer protocol
+    # ------------------------------------------------------------------ #
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Store (batch, heads, s, head_dim) new positions; return zero-copy
+        workspace views of the full attended history.
+
+        This is the decode hot path and performs exactly the dense cache's
+        stores (two vectorised writes); the block store is not touched —
+        rows persist lazily at sharing/pooling boundaries, and rows that
+        retire first never pay a block write at all.
+        """
+        batch, _, s, _ = k.shape
+        if batch != self.batch_size:
+            raise ValueError(
+                f"appending a batch of {batch} rows to a batch-{self.batch_size} cache"
+            )
+        stop = self.length + s
+        if stop > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: appending {s} positions at length "
+                f"{self.length} exceeds capacity {self.capacity}"
+            )
+        self._ensure_workspace(batch, max(stop, min(2 * self.length, self._capacity)))
+        self._ws_k[:batch, :, self.length : stop] = k
+        self._ws_v[:batch, :, self.length : stop] = v
+        for row in range(batch):
+            self.widths[row] += s
+        self.length = stop
+        return self._ws_k[:batch, :, :stop], self._ws_v[:batch, :, :stop]
+
+    def gather(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy (batch, heads, length, head_dim) float32 views of the
+        live window (building the workspace from the blocks if needed).
+
+        Rows shorter than ``length`` carry zeros before their span — exactly
+        the columns the decode mask already excludes, so attention results
+        match the dense layout (masked scores underflow to an attention
+        weight of exactly 0.0 either way).
+        """
+        self._ensure_workspace(self.batch_size, self.length)
+        return (
+            self._ws_k[: self.batch_size, :, : self.length],
+            self._ws_v[: self.batch_size, :, : self.length],
+        )
+
+    def read_span(self, row: int, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """Float32 keys/values of one row's logical columns ``[start, stop)``.
+
+        The cross-layout interop primitive (see
+        :meth:`~repro.nn.attention.LayerKVCache.read_span`): the requested
+        columns must lie inside the row's filled span.  Served from the
+        workspace when resident (which always covers the whole span),
+        gathered from the blocks otherwise.
+        """
+        if not 0 <= row < self.batch_size:
+            raise ValueError(f"row {row} outside batch of {self.batch_size}")
+        row_start = self.length - self.widths[row]
+        if start < row_start or stop > self.length or start > stop:
+            raise ValueError(
+                f"columns [{start}, {stop}) outside row {row}'s filled span "
+                f"[{row_start}, {self.length})"
+            )
+        if self._ws_k is not None:
+            return self._ws_k[row, :, start:stop], self._ws_v[row, :, start:stop]
+        return self.allocator.read_positions(
+            self.tables[row], start - row_start, stop - row_start
+        )
+
+    def truncate(self, length: int) -> None:
+        """Roll back to ``length`` filled positions; freed flushed tail
+        blocks are released (shared blocks just drop one reference)."""
+        if not 0 <= length <= self.length:
+            raise ValueError(f"cannot truncate cache of length {self.length} to {length}")
+        drop = self.length - length
+        if drop:
+            for row in range(self.batch_size):
+                new_width = max(0, self.widths[row] - drop)
+                self.flushed[row] = min(self.flushed[row], new_width)
+                keep = self._blocks_for(self.flushed[row])
+                freed = self.tables[row][keep:]
+                if freed:
+                    self.allocator.decref(freed)
+                    del self.tables[row][keep:]
+                self.widths[row] = new_width
+        self.length = length
+
+    def grow(self, capacity: int) -> None:
+        """Raise the logical column capacity.  Blocks are allocated on
+        demand and the workspace grows on first need, so this is free."""
+        self._capacity = max(self._capacity, capacity)
+
+    def release(self) -> None:
+        """Drop every block reference and the workspace (idempotent).
+
+        Unflushed workspace data is discarded, not persisted — releasing is
+        how retiring caches die, not how pooled ones rest (those go through
+        :meth:`release_workspace`).
+        """
+        for table in self.tables:
+            if table:
+                self.allocator.decref(table)
+                table.clear()
+        self.widths = [0] * self.batch_size
+        self.flushed = [0] * self.batch_size
+        self.length = 0
+        self._ws_k = None
+        self._ws_v = None
+
+    def block_ids(self) -> set[int]:
+        """Distinct blocks this layer references (shared blocks counted once)."""
+        ids: set[int] = set()
+        for table in self.tables:
+            ids.update(table)
+        return ids
+
+
+class PagedKVCache:
+    """Per-layer block-paged KV cache for a whole decoder stack.
+
+    A drop-in for :class:`~repro.nn.attention.KVCache` behind the decode
+    stepping core and the serving layers: same properties, same methods,
+    same semantics — with admission as block sharing, retirement as table
+    edits, and prefix clones/expansions as ref-count bumps.  All layers
+    draw blocks from one shared :class:`BlockAllocator`, so prefix sharing
+    works across every paged cache of the model (pool entries, prefill
+    staging, live batches).
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        batch_size: int,
+        allocator: BlockAllocator,
+        capacity: int,
+    ) -> None:
+        self.allocator = allocator
+        self.layers = [
+            PagedLayerKVCache(allocator, batch_size, capacity) for _ in range(num_layers)
+        ]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        return self.layers[0].length if self.layers else 0
+
+    @property
+    def capacity(self) -> int:
+        return self.layers[0].capacity if self.layers else 0
+
+    @property
+    def batch_size(self) -> int:
+        return self.layers[0].batch_size if self.layers else 0
+
+    @property
+    def kv_dtype(self) -> str:
+        return self.allocator.kv_dtype
+
+    def truncate(self, length: int) -> None:
+        for layer in self.layers:
+            layer.truncate(length)
+
+    def grow(self, capacity: int) -> None:
+        for layer in self.layers:
+            layer.grow(capacity)
+
+    def release_workspace(self) -> None:
+        """Flush every layer to the block store and drop the dense windows.
+
+        Called by the prefix pool at check-in: a resting pooled entry then
+        costs exactly its (shared, possibly int8) blocks.
+        """
+        for layer in self.layers:
+            layer.release_workspace()
+
+    def release(self) -> None:
+        """Return every referenced block to the allocator (idempotent).
+
+        Unflushed rows are discarded — this is the destructor path."""
+        for layer in self.layers:
+            layer.release()
+
+    def __del__(self) -> None:  # blocks are not garbage-collected by python
+        try:
+            self.release()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    def kv_bytes(self) -> int:
+        """Resident KV bytes: distinct referenced blocks plus any workspaces."""
+        ids: set[int] = set()
+        workspace = 0
+        for layer in self.layers:
+            ids.update(layer.block_ids())
+            workspace += layer.workspace_bytes()
+        return len(ids) * self.allocator.block_bytes + workspace
+
+    # ------------------------------------------------------------------ #
+    def clone_prefix(self, length: int, capacity: int | None = None) -> "PagedKVCache":
+        """Copy-on-write clone of the first ``length`` cached positions.
+
+        Unlike the dense cache this moves no key/value data: the donor rows
+        are flushed to the block store (amortised — typically already done
+        by a pool check-in), the clone's tables reference the donor's
+        blocks (ref-counted), a partially covered tail block is only copied
+        if one side later appends over it, and the clone materialises its
+        workspace lazily on first use.
+        """
+        if not 0 <= length <= self.length:
+            raise ValueError(f"cannot clone {length} positions of a length-{self.length} cache")
+        if capacity is not None and capacity < length:
+            raise ValueError(
+                f"clone capacity {capacity} cannot hold the {length}-position prefix"
+            )
+        out = PagedKVCache(
+            len(self.layers), self.batch_size, self.allocator, max(capacity or length, 1)
+        )
+        for src, dst in zip(self.layers, out.layers):
+            drop = src.length - length
+            for row in range(src.batch_size):
+                new_width = max(0, src.widths[row] - drop)
+                if src.flushed[row] < new_width:
+                    src.flush_row(row)
+                shared = src.tables[row][: src._blocks_for(new_width)]
+                self.allocator.incref(shared)
+                dst.tables[row] = list(shared)
+                dst.widths[row] = new_width
+                dst.flushed[row] = new_width
+            dst.length = length
+        return out
+
+    def expand(self, batch_size: int, extra_capacity: int = 0) -> "PagedKVCache":
+        """Tile the current contents to ``batch_size`` rows, sharing blocks.
+
+        The dense path copies the prefix once per candidate row; here every
+        row references the same prefix blocks and copy-on-write splits only
+        the tail blocks each row actually appends to.
+        """
+        if self.batch_size not in (1, batch_size):
+            raise ValueError(
+                f"cannot expand a batch-{self.batch_size} cache to batch {batch_size}"
+            )
+        length = self.length
+        out = PagedKVCache(
+            len(self.layers), batch_size, self.allocator, max(length + extra_capacity, 1)
+        )
+        for src, dst in zip(self.layers, out.layers):
+            for row in range(src.batch_size):
+                src.flush_row(row)
+            for row in range(batch_size):
+                donor_row = row if src.batch_size == batch_size else 0
+                donor = src.tables[donor_row]
+                self.allocator.incref(donor)
+                dst.tables[row] = list(donor)
+                dst.widths[row] = src.widths[donor_row]
+                dst.flushed[row] = src.widths[donor_row]
+            dst.length = length
+        return out
+
+    # ------------------------------------------------------------------ #
+    # live-batch row management (continuous batching)
+    # ------------------------------------------------------------------ #
+    def admit_row(self, src, src_row: int = 0, src_start: int = 0) -> int:
+        """Append one row of ``src`` (dense or paged) as a table edit.
+
+        Same contract as :meth:`repro.nn.attention.KVCache.admit_row`.  When
+        ``src`` is paged on the same allocator and the copied span starts on
+        a block boundary, the row's persistent state is admitted by sharing
+        its (flushed) blocks — ref-count bump — and only the workspace
+        window receives a copy of the span: the prefill -> live-batch
+        handoff.  Otherwise the span is read through the layout-agnostic
+        ``read_span`` into the workspace alone, to be persisted lazily if
+        this row is ever shared onward: one row's cost, never the batch's.
+        """
+        if self.layers and src.layers:
+            src_layer = src.layers[0]
+            if (
+                src_layer.num_heads != self.layers[0].num_heads
+                or src_layer.head_dim != self.layers[0].head_dim
+            ):
+                raise ValueError("admit_row requires matching head geometry")
+        if len(src.layers) != len(self.layers):
+            raise ValueError(
+                f"admit_row requires matching layer counts "
+                f"({len(src.layers)} vs {len(self.layers)})"
+            )
+        if not 0 <= src_start <= src.length:
+            raise ValueError(f"src_start {src_start} outside filled range [0, {src.length}]")
+        width = src.length - src_start
+        if width > self.length and self.batch_size > 0:
+            raise ValueError(
+                f"admitting a {width}-token row into a length-{self.length} live "
+                f"batch would strand the existing rows: realign them first"
+            )
+        new_length = max(self.length, width)
+        if new_length > self.capacity:
+            raise ValueError(
+                f"admitting a {width}-token row into a length-{self.length} cache "
+                f"exceeds capacity {self.capacity}"
+            )
+        start = new_length - width
+        bs = self.allocator.block_size
+        for own, other in zip(self.layers, src.layers):
+            own._ensure_workspace(own.batch_size + 1, max(new_length, 1))
+            row = own.batch_size
+            own._ws_k[row] = 0.0
+            own._ws_v[row] = 0.0
+            shared = (
+                isinstance(other, PagedLayerKVCache)
+                and other.allocator is self.allocator
+                and width > 0
+            )
+            if shared:
+                src_row_start = other.length - other.widths[src_row]
+                phys = src_start - src_row_start
+                if phys >= 0 and phys % bs == 0:
+                    other.flush_row(src_row)
+                    first = phys // bs
+                    donor = other.tables[src_row][first : first + own._blocks_for(width)]
+                    self.allocator.incref(donor)
+                    own.tables.append(list(donor))
+                    own.widths.append(width)
+                    own.flushed.append(width)
+                else:
+                    shared = False
+            if not shared:
+                own.tables.append([])
+                own.widths.append(width)
+                own.flushed.append(0)
+            if width > 0:
+                k_span, v_span = other.read_span(src_row, src_start, src.length)
+                own._ws_k[row, :, start:new_length] = k_span
+                own._ws_v[row, :, start:new_length] = v_span
+            own.length = new_length
+        return start
+
+    def retire_rows(self, keep: np.ndarray) -> None:
+        """Drop every row not listed in ``keep``: the persistent state is a
+        pure table edit (dropped rows' blocks are dereferenced, unflushed
+        rows simply vanish, no key/value bytes move); only the workspace
+        window re-packs its rows, exactly like the dense buffers do."""
+        keep = np.asarray(keep, dtype=np.int64).ravel()
+        if keep.size:
+            if keep.min() < 0 or keep.max() >= self.batch_size:
+                raise ValueError(
+                    f"row indices {keep.tolist()} outside batch of {self.batch_size}"
+                )
+            if np.unique(keep).size != keep.size:
+                raise ValueError(
+                    f"duplicate row indices in keep: {keep.tolist()} — a row may "
+                    f"be kept at most once"
+                )
+        kept = set(int(i) for i in keep)
+        indices = [int(i) for i in keep]
+        # The common retirement (ascending keep, e.g. the decode loop's) can
+        # compact the workspace in place, touching only the rows that move;
+        # an order-changing keep falls back to a gathered copy.
+        ascending = all(b > a for a, b in zip(indices, indices[1:]))
+        dropped: list[int] = []
+        for layer in self.layers:
+            for row in range(layer.batch_size):
+                if row not in kept:
+                    dropped.extend(layer.tables[row])
+            layer.tables = [layer.tables[i] for i in indices]
+            layer.widths = [layer.widths[i] for i in indices]
+            layer.flushed = [layer.flushed[i] for i in indices]
+            if layer._ws_k is not None:
+                if keep.size == 0:
+                    # An emptied batch drops its window like the dense cache
+                    # drops to zero rows; the next admission re-sizes it.
+                    layer._ws_k = None
+                    layer._ws_v = None
+                elif ascending:
+                    for j, i in enumerate(indices):
+                        if j != i:
+                            layer._ws_k[j] = layer._ws_k[i]
+                            layer._ws_v[j] = layer._ws_v[i]
+                else:
+                    layer._ws_k = layer._ws_k[keep]
+                    layer._ws_v = layer._ws_v[keep]
+            if keep.size == 0:
+                layer.length = 0
+        if dropped:
+            # One locked pass for every layer's dropped tables.
+            self.allocator.decref(dropped)
+
+    def realign(self, starts: np.ndarray, new_length: int) -> np.ndarray:
+        """Move every row's span to end at ``new_length``.
+
+        The persistent state is pure bookkeeping — a paged row's logical
+        start column is *derived* (``length - width``), so no blocks are
+        touched for either compaction or pre-admission growth.  Only the
+        workspace window shifts its spans (the same move the dense buffers
+        make).  ``starts`` must match the rows' actual filled spans: a paged
+        row's history is intrinsic to its table, so unlike the dense buffer
+        there are no dead leading columns to silently abandon.
+        """
+        starts = np.asarray(starts, dtype=np.int64).ravel()
+        if starts.size != self.batch_size:
+            raise ValueError(
+                f"realign needs one start per row ({self.batch_size}), got {starts.size}"
+            )
+        if starts.size and (starts.min() < 0 or starts.max() > self.length):
+            raise ValueError(f"row starts {starts.tolist()} outside filled length {self.length}")
+        widths = self.length - starts
+        if int(widths.max(initial=0)) > new_length:
+            raise ValueError(
+                f"new length {new_length} cannot hold the widest row ({int(widths.max())})"
+            )
+        if new_length > self.capacity:
+            raise ValueError(f"new length {new_length} exceeds capacity {self.capacity}")
+        new_starts = new_length - widths
+        length = self.length
+        for layer in self.layers:
+            if list(widths) != layer.widths:
+                raise ValueError(
+                    f"realign starts imply widths {widths.tolist()} but the rows "
+                    f"hold {layer.widths}"
+                )
+            if layer._ws_k is not None:
+                layer._ensure_workspace(layer.batch_size, new_length)
+                for i in range(starts.size):
+                    if new_starts[i] == starts[i]:
+                        continue
+                    # .copy(): source and destination spans may overlap.
+                    layer._ws_k[i, :, new_starts[i] : new_length] = layer._ws_k[
+                        i, :, starts[i] : length
+                    ].copy()
+                    layer._ws_v[i, :, new_starts[i] : new_length] = layer._ws_v[
+                        i, :, starts[i] : length
+                    ].copy()
+            layer.length = new_length
+        return new_starts

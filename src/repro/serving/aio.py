@@ -271,9 +271,11 @@ class AsyncEngine:
         clock=time.perf_counter,
         rng: np.random.Generator | int | None = None,
         on_step: Callable[["AsyncEngine"], None] | None = None,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
     ) -> None:
         self.model = model
-        self.cache_pool = cache_pool or PrefixCachePool.shared(model)
+        self.cache_pool = cache_pool or PrefixCachePool.default(model, kv_layout, kv_dtype)
         self.clock = clock
         self.rng = new_rng(rng)
         self.engine = ContinuousBatchingEngine(
@@ -284,6 +286,8 @@ class AsyncEngine:
             min_admit_rows=min_admit_rows,
             clock=clock,
             rng=self.rng,
+            kv_layout=kv_layout,
+            kv_dtype=kv_dtype,
         )
         self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
         self.on_step = on_step

@@ -228,6 +228,8 @@ class ContinuousBatchingEngine:
         min_admit_rows: int = 1,
         clock=time.perf_counter,
         rng: np.random.Generator | int | None = None,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
     ) -> None:
         if max_batch_rows <= 0:
             raise ValueError(f"max_batch_rows must be positive, got {max_batch_rows}")
@@ -241,6 +243,13 @@ class ContinuousBatchingEngine:
         self.max_batch_rows = max_batch_rows
         self.cache_pool = cache_pool
         self.admit_deadline = admit_deadline
+        #: KV storage of the live batch: ``"dense"`` (rectangular buffers)
+        #: or ``"paged"`` (ref-counted block tables; ``kv_dtype="int8"``
+        #: quantizes the block store).  Greedy outputs are identical across
+        #: layouts; paged admission/retirement are table edits and
+        #: compaction is free.
+        self.kv_layout = kv_layout
+        self.kv_dtype = kv_dtype
         #: Admission-group batching: while the batch is running, hold queued
         #: requests until this many can be admitted *together*, amortising
         #: the prefill forward.  1 = admit eagerly.  The hold is bounded: a
@@ -252,7 +261,12 @@ class ContinuousBatchingEngine:
         self.clock = clock
         self.rng = new_rng(rng)
         self.stats = EngineStats()
-        self.batch = DecodeBatch(model, capacity=model.config.max_position)
+        self.batch = DecodeBatch(
+            model,
+            capacity=model.config.max_position,
+            kv_layout=kv_layout,
+            kv_dtype=kv_dtype,
+        )
         self._queue: deque[EngineRequest] = deque()
         self._live: dict[int, EngineRequest] = {}  # id(state) -> request
         self._next_id = 0
@@ -484,7 +498,12 @@ class ContinuousBatchingEngine:
         self._queue.clear()
         self._live.clear()
         self._held_steps = 0
-        self.batch = DecodeBatch(self.model, capacity=self.model.config.max_position)
+        self.batch = DecodeBatch(
+            self.model,
+            capacity=self.model.config.max_position,
+            kv_layout=self.kv_layout,
+            kv_dtype=self.kv_dtype,
+        )
 
     def drain(self) -> list[EngineRequest]:
         """Run scheduling iterations until queue and live batch are empty.

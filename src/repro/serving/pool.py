@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.models.decoder import DecoderLM, common_prefix_length
 from repro.nn import KVCache
+from repro.nn.paged import validate_kv_config
 
 __all__ = ["PoolStats", "PrefixCachePool"]
 
@@ -90,18 +91,51 @@ class PrefixCachePool:
     """
 
     def __init__(
-        self, model: DecoderLM, max_entries: int = 8, min_reuse_tokens: int = 8
+        self,
+        model: DecoderLM,
+        max_entries: int = 8,
+        min_reuse_tokens: int = 8,
+        *,
+        max_bytes: int | None = None,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
     ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         if min_reuse_tokens <= 0:
             raise ValueError(f"min_reuse_tokens must be positive, got {min_reuse_tokens}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        validate_kv_config(kv_layout, kv_dtype)
         self.model = model
         self.max_entries = max_entries
+        #: Optional byte budget on resident pooled KV (checked at check-in;
+        #: least-recently-used entries are evicted until under budget).
+        #: This is where the storage layout earns its keep: a dense entry
+        #: costs a full-context rectangle regardless of its prefill length,
+        #: while a paged entry costs exactly its (shared, possibly int8)
+        #: blocks — so the same budget holds several times more prompt
+        #: families before thrashing.
+        self.max_bytes = max_bytes
         self.min_reuse_tokens = min_reuse_tokens
+        #: Storage layout of pooled caches.  With ``"paged"``, entries are
+        #: block tables on the model's shared allocator: a partial-overlap
+        #: checkout clones the shared prefix *copy-on-write* (ref-count
+        #: bumps, no bytes moved), and a paged live batch admits a
+        #: checked-out prefill by sharing its blocks outright.
+        self.kv_layout = kv_layout
+        self.kv_dtype = kv_dtype
         self.stats = PoolStats()
         self._entries: OrderedDict[int, _PoolEntry] = OrderedDict()
         self._lock = threading.RLock()
+
+    def _new_cache(self):
+        """An empty full-context cache in this pool's configured layout."""
+        if self.kv_layout == "dense":
+            return self.model.make_cache(1, self.model.config.max_position)
+        return self.model.make_paged_cache(
+            1, self.model.config.max_position, kv_dtype=self.kv_dtype
+        )
 
     @classmethod
     def shared(cls, model: DecoderLM, max_entries: int = 8) -> "PrefixCachePool":
@@ -117,6 +151,18 @@ class PrefixCachePool:
                 _SHARED_POOLS[model] = pool
             return pool
 
+    @classmethod
+    def default(
+        cls, model: DecoderLM, kv_layout: str = "dense", kv_dtype: str = "fp32"
+    ) -> "PrefixCachePool":
+        """The pool an engine should use when none was given: the
+        process-wide shared dense pool, or — for paged engines — a private
+        pool on the model's block allocator, so checked-in prefills flow
+        back into live batches as shared blocks."""
+        if kv_layout == "dense":
+            return cls.shared(model)
+        return cls(model, kv_layout=kv_layout, kv_dtype=kv_dtype)
+
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,6 +176,36 @@ class PrefixCachePool:
         """Drop every pooled cache (stats are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def kv_bytes(self) -> int:
+        """Resident KV bytes across pooled entries.
+
+        Blocks that copy-on-write sharing spreads over several paged
+        entries (a family head under many tails) are counted *once* — this
+        is also the quantity the ``max_bytes`` budget evicts against.
+        """
+        with self._lock:
+            return self._resident_bytes()
+
+    def _resident_bytes(self) -> int:
+        total = 0
+        shared_blocks: dict[int, set[int]] = {}
+        allocators: dict[int, object] = {}
+        for entry in self._entries.values():
+            cache = entry.cache
+            allocator = getattr(cache, "allocator", None)
+            if allocator is None:
+                total += cache.kv_bytes()
+                continue
+            key = id(allocator)
+            allocators[key] = allocator
+            ids = shared_blocks.setdefault(key, set())
+            for layer in cache.layers:
+                ids.update(layer.block_ids())
+                total += layer.workspace_bytes()
+        for key, ids in shared_blocks.items():
+            total += len(ids) * allocators[key].block_bytes
+        return total
 
     # ------------------------------------------------------------------ #
     def peek(self, prompt_ids: np.ndarray) -> int:
@@ -170,7 +246,7 @@ class PrefixCachePool:
                     best_key, best_common = key, common
             if best_key is None or best_common < self.min_reuse_tokens:
                 self.stats.misses += 1
-                cache = self.model.make_cache(1, self.model.config.max_position)
+                cache = self._new_cache()
                 cache.pool_reused_tokens = 0
                 return cache, 0
             entry = self._entries[best_key]
@@ -214,12 +290,21 @@ class PrefixCachePool:
             )
         ids = prompt_ids[: cache.length].copy()
         key = self._key(ids)
+        # A resting paged entry costs its (shared, possibly int8) blocks
+        # only: the dense gather window is dropped here and rebuilt from the
+        # blocks on the next checkout that extends the entry.
+        if hasattr(cache, "release_workspace"):
+            cache.release_workspace()
         with self._lock:
             self._entries.pop(key, None)
             self._entries[key] = _PoolEntry(ids=ids, cache=cache)
             reused = getattr(cache, "pool_reused_tokens", 0)
             self.stats.tokens_prefilled += max(int(cache.length) - int(reused), 0)
             cache.pool_reused_tokens = 0
-            while len(self._entries) > self.max_entries:
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and len(self._entries) > 1
+                and self._resident_bytes() > self.max_bytes
+            ):
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1

@@ -94,6 +94,8 @@ class BatchScheduler:
         max_batch_size: int = 8,
         cache_pool: PrefixCachePool | None = None,
         rng: np.random.Generator | int | None = None,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
     ) -> None:
         # Deferred import: the engine module subclasses SchedulerStats.
         from repro.serving.aio import AsyncEngine
@@ -102,7 +104,7 @@ class BatchScheduler:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         self.model = model
         self.max_batch_size = max_batch_size
-        self.cache_pool = cache_pool or PrefixCachePool.shared(model)
+        self.cache_pool = cache_pool or PrefixCachePool.default(model, kv_layout, kv_dtype)
         self.rng = new_rng(rng)
         self.stats = SchedulerStats()
         #: The async front-end every flush runs through; its background
@@ -113,6 +115,8 @@ class BatchScheduler:
             max_batch_rows=max_batch_size,
             cache_pool=self.cache_pool,
             rng=self.rng,
+            kv_layout=kv_layout,
+            kv_dtype=kv_dtype,
         )
         #: The iteration-level decode engine under the async front-end
         #: (kept as a direct attribute for callers that drive admission
