@@ -12,9 +12,14 @@ serving deployment would:
    stream API while the others run;
 3. one request is cancelled mid-decode and one carries a tight timeout —
    both retire at a step boundary and their KV rows are reclaimed;
-4. the engine drains, and the per-request SLA stats (queue, prefill,
-   time-to-first-token) plus the async counters (parks, wakeups, peak
-   queue depth) are printed.
+4. one client brings a *long* prompt (~10x the others).  The engine runs
+   with a ``prefill_chunk_tokens`` budget, so that prompt is consumed in
+   bounded chunks piggybacked beside the running decodes — the short
+   clients' tokens keep flowing instead of stalling for one monolithic
+   prefill;
+5. the engine drains, and the per-request SLA stats (queue, prefill,
+   time-to-first-token), chunked-prefill occupancy and the async counters
+   (parks, wakeups, peak queue depth) are printed.
 
 Run:  PYTHONPATH=src python examples/serve_async.py
 """
@@ -33,6 +38,8 @@ from repro.tokenization import LogTokenizer
 
 NUM_CLIENTS = 16
 MAX_NEW_TOKENS = 32
+LONG_CLIENT = 4  # this client's prompt is ~10x the others
+PREFILL_CHUNK_TOKENS = 16
 
 
 def build_model() -> tuple[DecoderLM, LogTokenizer, list[np.ndarray]]:
@@ -49,6 +56,10 @@ def build_model() -> tuple[DecoderLM, LogTokenizer, list[np.ndarray]]:
         ]
         for i in range(NUM_CLIENTS)
     ]
+    # One client arrives with a long prompt — the adversarial case chunked
+    # prefill exists for: without a budget its whole-prompt prefill would
+    # stall every running decode.
+    prompts[LONG_CLIENT] = tokenizer.encode_causal(" ".join(sentences))[:160]
     return model, tokenizer, prompts
 
 
@@ -82,6 +93,12 @@ async def client(engine: AsyncEngine, i: int, prompt: np.ndarray, delay: float):
                 outcome = "finished inside the timeout"
             except RequestTimeout as exc:
                 outcome = f"timed out after {len(exc.partial) - len(prompt)} tokens"
+        elif i == LONG_CLIENT:
+            result = await engine.generate(prompt, max_new_tokens=MAX_NEW_TOKENS)
+            outcome = (
+                f"long prompt ({len(prompt)} tokens) chunk-prefilled, "
+                f"generated {len(result) - len(prompt)}"
+            )
         else:
             result = await engine.generate(prompt, max_new_tokens=MAX_NEW_TOKENS)
             outcome = f"generated {len(result) - len(prompt)} tokens"
@@ -105,7 +122,12 @@ def main() -> None:
 
     print(f"\nServing {NUM_CLIENTS} concurrent clients "
           f"(max_batch_rows=6, staggered arrivals):")
-    engine = AsyncEngine(model, max_batch_rows=6, min_admit_rows=2)
+    engine = AsyncEngine(
+        model,
+        max_batch_rows=6,
+        min_admit_rows=2,
+        prefill_chunk_tokens=PREFILL_CHUNK_TOKENS,
+    )
     t0 = time.perf_counter()
     asyncio.run(serve(engine, prompts))
     wall = time.perf_counter() - t0
@@ -120,6 +142,10 @@ def main() -> None:
     print(f"  mean queue   : {sla['mean_queue_seconds'] * 1000:6.1f} ms")
     print(f"  mean prefill : {sla['mean_prefill_seconds'] * 1000:6.1f} ms")
     print(f"  mean TTFT    : {sla['mean_ttft_seconds'] * 1000:6.1f} ms")
+    print(f"  chunked prefill: {sla['prefill_tokens']} prompt tokens in "
+          f"{sla['prefill_chunks']} chunks (budget {PREFILL_CHUNK_TOKENS}/step, "
+          f"mean {sla['mean_step_prefill_tokens']:.1f} prefill tokens/step "
+          f"beside {sla['mean_step_decode_rows']:.1f} decode rows)")
     print(f"  cancelled={sla['cancelled']} timeouts={sla['timeouts']} "
           f"parks={sla['parks']} wakeups={sla['wakeups']} "
           f"peak_queue_depth={sla['peak_queue_depth']}")

@@ -160,6 +160,11 @@ class DecodeBatch:
     * :meth:`admit` / :meth:`admit_many` prefill newcomers (optionally
       reusing a checked-out prefix cache) and splice them into the live
       batch without touching existing rows;
+    * :meth:`admit_chunked` + :meth:`prefill_step` instead spread a
+      newcomer's prefill over several steps in bounded token chunks (the
+      Sarathi-style chunked prefill the engine's per-step token budget
+      drives), so an arriving long prompt never stalls the in-flight
+      decode rows for its whole length;
     * :meth:`step` samples one token per row, retires rows that finish
       (stop token, token budget, context limit) immediately, and forwards
       the survivors' tokens to produce the next distributions;
@@ -205,15 +210,37 @@ class DecodeBatch:
         # buffers, so their cost must track the live working set, not the
         # model's maximum context.  A paged cache has nothing to
         # preallocate — blocks are claimed as rows fill them.
-        self.cache = self._make_cache(0, min(capacity, 64) if kv_layout == "dense" else capacity)
+        self.cache = self._make_cache(
+            0,
+            min(capacity, 64) if kv_layout == "dense" else capacity,
+            native=True,
+        )
         self.states: list[DecodeState] = []
+        #: Requests admitted via :meth:`admit_chunked`, still consuming their
+        #: prompt chunk-by-chunk (FIFO admission order).  They occupy a
+        #: scheduling slot (counted by :attr:`num_rows`) but not yet a live
+        #: cache row.
+        self.prefilling: list[DecodeState] = []
+        #: ``id(state) -> (staging cache, owned)`` for the prefilling
+        #: requests.  ``owned`` staging caches are private (released when the
+        #: request leaves the prefilling state); borrowed ones (pool
+        #: checkouts) are handed back via :meth:`release_prefill`.
+        self._prefill: dict[int, tuple] = {}
         self._mask = np.zeros((0, capacity), dtype=bool)
 
-    def _make_cache(self, batch_size: int, capacity: int):
-        """A fresh cache in this batch's configured KV layout/dtype."""
+    def _make_cache(self, batch_size: int, capacity: int, *, native: bool = False):
+        """A fresh cache in this batch's configured KV layout/dtype.
+
+        ``native`` selects the paged cache's native-attention mode (block
+        gather reads, tail-only workspace) — used for the live batch cache;
+        prefill/staging caches stay in window mode, whose slab appends suit
+        multi-token prefills.
+        """
         if self.kv_layout == "dense":
             return self.model.make_cache(batch_size, capacity)
-        return self.model.make_paged_cache(batch_size, capacity, kv_dtype=self.kv_dtype)
+        return self.model.make_paged_cache(
+            batch_size, capacity, kv_dtype=self.kv_dtype, native=native
+        )
 
     def _ensure_columns(self, needed: int) -> None:
         """Grow the allocated cache so ``needed`` columns fit (within capacity)."""
@@ -226,8 +253,18 @@ class DecodeBatch:
 
     @property
     def num_rows(self) -> int:
-        """Number of live (actively decoding) rows."""
+        """Live scheduling slots: decoding rows plus in-progress prefills."""
+        return len(self.states) + len(self.prefilling)
+
+    @property
+    def num_decoding(self) -> int:
+        """Rows actively decoding (holding a cache row and a pending token)."""
         return len(self.states)
+
+    @property
+    def num_prefilling(self) -> int:
+        """Requests still consuming their prompt chunk-by-chunk."""
+        return len(self.prefilling)
 
     # ------------------------------------------------------------------ #
     # admission
@@ -341,6 +378,108 @@ class DecodeBatch:
             )
         if hasattr(staging, "release"):
             staging.release()
+
+    # ------------------------------------------------------------------ #
+    # chunked prefill
+    # ------------------------------------------------------------------ #
+    def admit_chunked(
+        self, state: DecodeState, prefill_cache: KVCache | None = None
+    ) -> bool:
+        """Register a request for chunk-by-chunk prefilling.
+
+        The request immediately occupies a scheduling slot (it counts
+        toward :attr:`num_rows`) but holds no cache row yet; successive
+        :meth:`prefill_step` calls consume its prompt in bounded chunks and
+        splice it into the live batch when the prompt is exhausted.  As
+        with :meth:`admit`, ``prefill_cache`` (batch 1) may already cover a
+        prefix of the prompt — e.g. a pool checkout — and only the
+        remainder is chunk-forwarded; at least the last prompt token is
+        always re-forwarded so its logits seed the first decode step.
+
+        Returns ``False`` when the request cannot emit a single token and
+        finished immediately (no slot taken), ``True`` otherwise.
+        """
+        if state.admitted:
+            raise ValueError("state already occupies a live batch row")
+        if id(state) in self._prefill:
+            raise ValueError("state is already prefilling")
+        if len(state.prompt_ids) > self.capacity:
+            raise ValueError(
+                f"prompt of {len(state.prompt_ids)} tokens exceeds the batch "
+                f"capacity {self.capacity}"
+            )
+        if self._finish_unstartable(state):
+            return False
+        prompt = state.prompt_ids
+        owned = prefill_cache is None
+        if prefill_cache is None:
+            prefill_cache = self._make_cache(1, len(prompt))
+        prefill_cache.truncate(min(prefill_cache.length, len(prompt) - 1))
+        self._prefill[id(state)] = (prefill_cache, owned)
+        self.prefilling.append(state)
+        return True
+
+    def prefill_step(self, state: DecodeState, max_tokens: int) -> int:
+        """Advance one prefilling request by at most ``max_tokens`` prompt
+        tokens; returns the number consumed.
+
+        When the chunk reaches the end of the prompt the request flips to
+        decoding: its last position's logits become the pending next-token
+        distribution and the staged keys/values are spliced into the live
+        batch (block sharing for an aligned paged staging cache).  The
+        staging cache stays registered until :meth:`release_prefill` so the
+        caller can still check a borrowed cache back into its pool.
+        Chunk boundaries never change the computed values — cache-backed
+        incremental forwards are exact — so any split of the same prompt
+        yields bit-identical admission state.
+        """
+        entry = self._prefill.get(id(state))
+        if entry is None:
+            raise ValueError("state is not prefilling in this batch")
+        cache = entry[0]
+        prompt = state.prompt_ids
+        take = min(int(max_tokens), len(prompt) - cache.length)
+        if take <= 0:
+            return 0
+        start = cache.length
+        with no_grad():
+            logits = self.model.forward_incremental(
+                prompt[None, start : start + take], cache, last_logits_only=True
+            )
+            if cache.length == len(prompt):
+                log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
+                self._drop_prefilling(state)
+                self._admit_prefilled_row(state, cache, 0, 0, log_probs)
+        return take
+
+    def _drop_prefilling(self, state: DecodeState) -> None:
+        # Identity-based removal: DecodeState's dataclass __eq__ compares
+        # array fields, so list.remove / ``in`` would raise on it.
+        for i, candidate in enumerate(self.prefilling):
+            if candidate is state:
+                del self.prefilling[i]
+                return
+
+    def release_prefill(self, state: DecodeState):
+        """Unregister a request's staging cache (idempotent).
+
+        Called after the request flipped to decoding — or to abort a
+        prefill mid-way (cancellation/timeout), which also frees its
+        scheduling slot.  An owned staging cache is released (its blocks
+        return to the allocator) and ``None`` is returned; a borrowed one
+        (pool checkout) is returned to the caller, holding the prompt
+        prefix prefilled so far, ready to be checked back in.
+        """
+        entry = self._prefill.pop(id(state), None)
+        if entry is None:
+            return None
+        cache, owned = entry
+        self._drop_prefilling(state)
+        if owned:
+            if hasattr(cache, "release"):
+                cache.release()
+            return None
+        return cache
 
     # ------------------------------------------------------------------ #
     # stepping
@@ -525,19 +664,24 @@ class DecoderLM(Module):
         *,
         kv_dtype: str = "fp32",
         block_size: int | None = None,
+        native: bool = False,
     ) -> PagedKVCache:
         """Allocate an empty block-paged KV cache (optionally int8-quantized).
 
         Implements the same protocol as :meth:`make_cache`'s dense result,
         storing rows as ref-counted block tables — see
         :mod:`repro.nn.paged`.  ``capacity`` is a logical bound only;
-        nothing is preallocated.
+        nothing is preallocated.  ``native=True`` selects the native
+        paged-attention mode: attention gathers persisted spans straight
+        from the block store and only each row's unpersisted tail stays
+        resident in float32.
         """
         return PagedKVCache(
             self.config.num_layers,
             batch_size,
             self.paged_allocator(kv_dtype, block_size),
             capacity or self.config.max_position,
+            native=native,
         )
 
     def forward_incremental(

@@ -476,8 +476,16 @@ class MultiHeadAttention(Module):
             if not self.causal:
                 raise ValueError("KV caching requires causal attention")
             # Cached keys/values are constants (inference only): detach to
-            # plain arrays before appending.
-            k_all, v_all = cache.append(k.data, v.data)
+            # plain arrays before appending.  Window-mode caches hand back
+            # zero-copy array views; a native paged cache hands back a
+            # PagedAttentionView whose gather assembles the attended window
+            # straight from the block store (plus live tails) as a
+            # transient activation.
+            appended = cache.append(k.data, v.data)
+            if isinstance(appended, tuple):
+                k_all, v_all = appended
+            else:
+                k_all, v_all = appended.gather_kv()
             k, v = Tensor(k_all), Tensor(v_all)
         key_len = k.shape[2]
 

@@ -39,6 +39,25 @@ layout, adapted to this repo's numpy stepping core:
   pooled paged entry cost its blocks — shared, exact-width, optionally
   int8 — rather than a full-context rectangle.
 
+A cache can instead run in **native** paged-attention mode
+(``native=True``): attention reads persisted spans *directly* from the
+block store via a batched block-table gather
+(:meth:`BlockAllocator.gather_batch`), and the float32 workspace shrinks
+to a small per-row **tail** buffer holding only the not-yet-persisted
+suffix of each row.  ``append`` then returns a
+:class:`PagedAttentionView` instead of dense array views;
+:class:`~repro.nn.MultiHeadAttention` calls :meth:`PagedAttentionView.
+gather_kv` to assemble the attended window (block gather + tail splice)
+as a transient activation, exactly like its scores matrix.  Admission of
+a block-aligned shared row becomes a pure table edit — no workspace copy
+at all — and the resident footprint of a live batch drops from a full
+(rows x window) rectangle to blocks + tails.  Float32 tails auto-flush
+once they span two blocks (block writes are byte-identical to the
+workspace, so this is free); int8 tails are kept float32 and never
+auto-flushed, preserving the window mode's exact quantization boundaries
+(a position is quantized at the same sharing/pooling boundary in both
+modes, so native int8 decoding emits the window mode's exact tokens).
+
 With ``kv_dtype="int8"`` the block store quantizes each (head, position)
 vector to signed bytes with a float32 scale (relative error ~1/254).  A
 position is quantized exactly once — at its first flush — and the stored
@@ -66,6 +85,7 @@ import numpy as np
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "BlockAllocator",
+    "PagedAttentionView",
     "PagedLayerKVCache",
     "PagedKVCache",
     "validate_kv_config",
@@ -358,6 +378,63 @@ class BlockAllocator:
             np.multiply(merged_k, sk[..., None], out=out_k[:, start : start + width])
             np.multiply(merged_v, sv[..., None], out=out_v[:, start : start + width])
 
+    def gather_batch(
+        self,
+        tables: Sequence[Sequence[int]],
+        widths: Sequence[int],
+        out_k: np.ndarray,
+        out_v: np.ndarray,
+        starts: Sequence[int],
+    ) -> None:
+        """Assemble many rows' leading ``widths[i]`` positions into dense
+        float32 (rows, heads, columns, head_dim) outputs in one pass.
+
+        The batched form of :meth:`gather_row` — the native paged-attention
+        read path.  Per-row tables are padded to the widest table into one
+        index matrix so the storage is touched by a single fancy-index per
+        tensor (padding references block 0 but only ``widths[i]`` positions
+        of row ``i`` are ever copied out, so the padding is never read
+        meaningfully).  Row ``i`` lands in ``out_k[i, :, starts[i] :
+        starts[i] + widths[i]]`` — the right-aligned presentation the decode
+        mask expects.  int8 stores dequantize on the way out.
+        """
+        rows = len(tables)
+        bs = self.block_size
+        counts = [(int(w) + bs - 1) // bs for w in widths]
+        nb_max = max(counts, default=0)
+        if nb_max == 0:
+            return
+        matrix = np.zeros((rows, nb_max), dtype=np.int64)
+        for i, table in enumerate(tables):
+            if counts[i]:
+                matrix[i, : counts[i]] = table[: counts[i]]
+        heads = self.num_heads
+        with self._lock:
+            merged_k = self._keys[:, matrix].reshape(heads, rows, nb_max * bs, self.head_dim)
+            merged_v = self._values[:, matrix].reshape(heads, rows, nb_max * bs, self.head_dim)
+            if self.kv_dtype == "int8":
+                sk = self._key_scales[:, matrix].reshape(heads, rows, nb_max * bs)
+                sv = self._value_scales[:, matrix].reshape(heads, rows, nb_max * bs)
+            for i in range(rows):
+                width = int(widths[i])
+                if width == 0:
+                    continue
+                start = int(starts[i])
+                if self.kv_dtype == "fp32":
+                    out_k[i, :, start : start + width] = merged_k[:, i, :width]
+                    out_v[i, :, start : start + width] = merged_v[:, i, :width]
+                else:
+                    np.multiply(
+                        merged_k[:, i, :width],
+                        sk[:, i, :width, None],
+                        out=out_k[i, :, start : start + width],
+                    )
+                    np.multiply(
+                        merged_v[:, i, :width],
+                        sv[:, i, :width, None],
+                        out=out_v[i, :, start : start + width],
+                    )
+
     def read_positions(
         self, table: Sequence[int], pos_start: int, pos_stop: int
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -406,14 +483,27 @@ class PagedLayerKVCache:
         "widths",
         "flushed",
         "length",
+        "native",
         "_capacity",
         "_ws_k",
         "_ws_v",
     )
 
-    def __init__(self, allocator: BlockAllocator, batch_size: int, capacity: int) -> None:
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        batch_size: int,
+        capacity: int,
+        native: bool = False,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
+        #: Native paged-attention mode: the workspace holds only each row's
+        #: unpersisted tail (left-aligned at column 0, its origin being the
+        #: row's ``flushed`` count) and ``append`` returns a
+        #: :class:`PagedAttentionView` that gathers the attended window
+        #: straight from the block store.
+        self.native = native
         self.allocator = allocator
         self.tables: list[list[int]] = [[] for _ in range(batch_size)]
         self.widths: list[int] = [0] * batch_size
@@ -458,9 +548,41 @@ class PagedLayerKVCache:
             return 0
         return self._ws_k.nbytes + self._ws_v.nbytes
 
+    def _ensure_tail(self, rows: int, cols: int) -> None:
+        """Native-mode workspace sizing: make the tail buffer at least
+        (rows, cols).  Tails are left-aligned at column 0, so growth copies
+        the old buffer verbatim; a released buffer implies every tail was
+        flushed, so a fresh zero buffer needs no rebuild."""
+        ws = self._ws_k
+        if ws is not None and ws.shape[0] >= rows and ws.shape[2] >= cols:
+            return
+        rows = max(rows, self.batch_size)
+        cols = max(cols, 1)
+        if ws is None:
+            shape = (rows, self.num_heads, cols, self.head_dim)
+            self._ws_k = np.zeros(shape, dtype=np.float32)
+            self._ws_v = np.zeros(shape, dtype=np.float32)
+            return
+        have_rows, _, have_cols, _ = ws.shape
+        new_rows = have_rows
+        if rows > have_rows:
+            new_rows = max(rows, have_rows + max(2, have_rows // 2))
+        new_cols = have_cols
+        if cols > have_cols:
+            new_cols = min(max(cols, 2 * have_cols), max(self._capacity, cols))
+        for name in ("_ws_k", "_ws_v"):
+            old = getattr(self, name)
+            new = np.zeros(
+                (new_rows, self.num_heads, new_cols, self.head_dim), dtype=np.float32
+            )
+            new[:have_rows, :, :have_cols] = old
+            setattr(self, name, new)
+
     def _ensure_workspace(self, rows: int, cols: int) -> None:
         """Make the workspace valid and at least (rows, cols); rebuild from
         the blocks when it was released (every position is flushed then)."""
+        if self.native:
+            raise RuntimeError("native caches size their tail buffers via _ensure_tail")
         ws = self._ws_k
         if ws is not None and ws.shape[0] >= rows and ws.shape[2] >= cols:
             return  # steady-state decode: nothing to do
@@ -521,16 +643,24 @@ class PagedLayerKVCache:
         bs = allocator.block_size
         table = self.tables[row]
         allocator.make_writable(table, start // bs, (width - 1) // bs)
-        ws_col = self.length - width
-        k = self._ws_k[row, :, ws_col + start : ws_col + width]
-        v = self._ws_v[row, :, ws_col + start : ws_col + width]
+        if self.native:
+            # The tail buffer's origin *is* ``flushed``: the unpersisted
+            # suffix sits at columns [0, width - start).  Persisting it
+            # simply advances ``flushed`` — the tail empties with no data
+            # movement and no echo (nothing reads the stale columns).
+            k = self._ws_k[row, :, : width - start]
+            v = self._ws_v[row, :, : width - start]
+        else:
+            ws_col = self.length - width
+            k = self._ws_k[row, :, ws_col + start : ws_col + width]
+            v = self._ws_v[row, :, ws_col + start : ws_col + width]
         if start // bs == (width - 1) // bs:
             stored_k, stored_v = allocator.write(table[start // bs], start % bs, k, v)
         else:
             positions = np.arange(start, width)
             blocks = np.asarray(table, dtype=np.int64)[positions // bs]
             stored_k, stored_v = allocator.write_scatter(blocks, positions % bs, k, v)
-        if allocator.kv_dtype != "fp32":
+        if allocator.kv_dtype != "fp32" and not self.native:
             self._ws_k[row, :, ws_col + start : ws_col + width] = stored_k
             self._ws_v[row, :, ws_col + start : ws_col + width] = stored_v
         self.flushed[row] = width
@@ -552,14 +682,22 @@ class PagedLayerKVCache:
     # ------------------------------------------------------------------ #
     # the dense-layer protocol
     # ------------------------------------------------------------------ #
-    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Store (batch, heads, s, head_dim) new positions; return zero-copy
-        workspace views of the full attended history.
+    def append(self, k: np.ndarray, v: np.ndarray):
+        """Store (batch, heads, s, head_dim) new positions.
 
-        This is the decode hot path and performs exactly the dense cache's
-        stores (two vectorised writes); the block store is not touched —
-        rows persist lazily at sharing/pooling boundaries, and rows that
-        retire first never pay a block write at all.
+        Window mode returns zero-copy workspace views of the full attended
+        history and performs exactly the dense cache's stores (two
+        vectorised writes); the block store is not touched — rows persist
+        lazily at sharing/pooling boundaries, and rows that retire first
+        never pay a block write at all.
+
+        Native mode appends into the per-row tail buffers and returns a
+        :class:`PagedAttentionView`; float32 tails that have grown to two
+        full blocks are flushed eagerly (byte-identical to the workspace,
+        so the read path cannot tell), which keeps the resident tail buffer
+        a couple of blocks wide regardless of context length.  int8 tails
+        are *never* auto-flushed: quantization stays pinned to the same
+        sharing/pooling boundaries as window mode.
         """
         batch, _, s, _ = k.shape
         if batch != self.batch_size:
@@ -572,6 +710,30 @@ class PagedLayerKVCache:
                 f"KV cache overflow: appending {s} positions at length "
                 f"{self.length} exceeds capacity {self.capacity}"
             )
+        if self.native:
+            tails = np.array(
+                [self.widths[row] - self.flushed[row] for row in range(batch)],
+                dtype=np.int64,
+            )
+            self._ensure_tail(batch, int(tails.max(initial=0)) + s)
+            if s == 1:
+                rows = np.arange(batch)
+                self._ws_k[rows, :, tails] = k[:, :, 0]
+                self._ws_v[rows, :, tails] = v[:, :, 0]
+            else:
+                for row in range(batch):
+                    t = int(tails[row])
+                    self._ws_k[row, :, t : t + s] = k[row]
+                    self._ws_v[row, :, t : t + s] = v[row]
+            for row in range(batch):
+                self.widths[row] += s
+            self.length = stop
+            if self.allocator.kv_dtype == "fp32":
+                limit = 2 * self.allocator.block_size
+                for row in range(batch):
+                    if self.widths[row] - self.flushed[row] >= limit:
+                        self.flush_row(row)
+            return PagedAttentionView(self, batch, stop)
         self._ensure_workspace(batch, max(stop, min(2 * self.length, self._capacity)))
         self._ws_k[:batch, :, self.length : stop] = k
         self._ws_v[:batch, :, self.length : stop] = v
@@ -588,7 +750,12 @@ class PagedLayerKVCache:
         the columns the decode mask already excludes, so attention results
         match the dense layout (masked scores underflow to an attention
         weight of exactly 0.0 either way).
+
+        In native mode the window is materialised *transiently* (block
+        gather + tail splice) rather than kept resident.
         """
+        if self.native:
+            return PagedAttentionView(self, self.batch_size, self.length).gather_kv()
         self._ensure_workspace(self.batch_size, self.length)
         return (
             self._ws_k[: self.batch_size, :, : self.length],
@@ -611,6 +778,22 @@ class PagedLayerKVCache:
             raise ValueError(
                 f"columns [{start}, {stop}) outside row {row}'s filled span "
                 f"[{row_start}, {self.length})"
+            )
+        if self.native:
+            flushed = self.flushed[row]
+            phys_start, phys_stop = start - row_start, stop - row_start
+            if phys_stop <= flushed:
+                return self.allocator.read_positions(self.tables[row], phys_start, phys_stop)
+            if phys_start >= flushed:
+                lo, hi = phys_start - flushed, phys_stop - flushed
+                return self._ws_k[row, :, lo:hi], self._ws_v[row, :, lo:hi]
+            block_k, block_v = self.allocator.read_positions(
+                self.tables[row], phys_start, flushed
+            )
+            tail = phys_stop - flushed
+            return (
+                np.concatenate([block_k, self._ws_k[row, :, :tail]], axis=1),
+                np.concatenate([block_v, self._ws_v[row, :, :tail]], axis=1),
             )
         if self._ws_k is not None:
             return self._ws_k[row, :, start:stop], self._ws_v[row, :, start:stop]
@@ -666,6 +849,51 @@ class PagedLayerKVCache:
         return ids
 
 
+class PagedAttentionView:
+    """Lazy handle over a native layer's attended window at one append.
+
+    Returned by a native :meth:`PagedLayerKVCache.append` instead of dense
+    array views.  :meth:`gather_kv` assembles the (batch, heads, length,
+    head_dim) float32 window — persisted prefixes via one batched
+    block-table gather, live tails spliced from the tail buffers — as a
+    *transient* activation owned by the caller, the numpy analogue of a
+    fused paged-attention kernel reading blocks in registers.  Nothing
+    dense stays resident between steps.
+    """
+
+    __slots__ = ("layer", "batch", "length")
+
+    def __init__(self, layer: PagedLayerKVCache, batch: int, length: int) -> None:
+        self.layer = layer
+        self.batch = batch
+        self.length = length
+
+    def gather_kv(self) -> tuple[np.ndarray, np.ndarray]:
+        layer = self.layer
+        batch, length = self.batch, self.length
+        shape = (batch, layer.num_heads, length, layer.head_dim)
+        out_k = np.empty(shape, dtype=np.float32)
+        out_v = np.empty(shape, dtype=np.float32)
+        widths = layer.widths[:batch]
+        flushed = layer.flushed[:batch]
+        starts = [length - width for width in widths]
+        layer.allocator.gather_batch(layer.tables[:batch], flushed, out_k, out_v, starts)
+        for row in range(batch):
+            # Masked pad columns must still be *finite*: scores there are
+            # replaced wholesale, but softmax·V multiplies them by zero —
+            # NaNs from uninitialised memory would poison the product.
+            start = starts[row]
+            if start:
+                out_k[row, :, :start] = 0.0
+                out_v[row, :, :start] = 0.0
+            tail = widths[row] - flushed[row]
+            if tail:
+                col = start + flushed[row]
+                out_k[row, :, col : col + tail] = layer._ws_k[row, :, :tail]
+                out_v[row, :, col : col + tail] = layer._ws_v[row, :, :tail]
+        return out_k, out_v
+
+
 class PagedKVCache:
     """Per-layer block-paged KV cache for a whole decoder stack.
 
@@ -684,10 +912,13 @@ class PagedKVCache:
         batch_size: int,
         allocator: BlockAllocator,
         capacity: int,
+        native: bool = False,
     ) -> None:
         self.allocator = allocator
+        self.native = native
         self.layers = [
-            PagedLayerKVCache(allocator, batch_size, capacity) for _ in range(num_layers)
+            PagedLayerKVCache(allocator, batch_size, capacity, native=native)
+            for _ in range(num_layers)
         ]
 
     # ------------------------------------------------------------------ #
@@ -852,10 +1083,14 @@ class PagedKVCache:
         start = new_length - width
         bs = self.allocator.block_size
         for own, other in zip(self.layers, src.layers):
-            own._ensure_workspace(own.batch_size + 1, max(new_length, 1))
             row = own.batch_size
-            own._ws_k[row] = 0.0
-            own._ws_v[row] = 0.0
+            if own.native:
+                if own._ws_k is not None:
+                    own._ensure_tail(row + 1, 1)
+            else:
+                own._ensure_workspace(row + 1, max(new_length, 1))
+                own._ws_k[row] = 0.0
+                own._ws_v[row] = 0.0
             shared = (
                 isinstance(other, PagedLayerKVCache)
                 and other.allocator is self.allocator
@@ -878,11 +1113,32 @@ class PagedKVCache:
                 own.tables.append([])
                 own.widths.append(width)
                 own.flushed.append(0)
-            if width > 0:
-                k_span, v_span = other.read_span(src_row, src_start, src.length)
-                own._ws_k[row, :, start:new_length] = k_span
-                own._ws_v[row, :, start:new_length] = v_span
             own.length = new_length
+            if width > 0:
+                # An unshared span is copied in through the layout-agnostic
+                # read_span, then persisted immediately: fp32 block writes
+                # are byte-identical to the workspace, and quantizing int8
+                # spans *at admission* — whatever path they arrived by —
+                # keeps the admitted row's bytes a function of the token
+                # history alone, never of admission grouping, padding
+                # alignment or prefill chunking.  A block-shared span needs
+                # no persistence (its donor flush already covered it); in
+                # native mode sharing is a pure table edit, while window
+                # mode must still mirror the span into the workspace the
+                # attention window reads from.
+                if own.native:
+                    if not shared:
+                        k_span, v_span = other.read_span(src_row, src_start, src.length)
+                        own._ensure_tail(row + 1, width)
+                        own._ws_k[row, :, :width] = k_span
+                        own._ws_v[row, :, :width] = v_span
+                        own.flush_row(row)
+                else:
+                    k_span, v_span = other.read_span(src_row, src_start, src.length)
+                    own._ws_k[row, :, start:new_length] = k_span
+                    own._ws_v[row, :, start:new_length] = v_span
+                    if not shared and self.allocator.kv_dtype != "fp32":
+                        own.flush_row(row)
         return start
 
     def retire_rows(self, keep: np.ndarray) -> None:
@@ -968,6 +1224,12 @@ class PagedKVCache:
                     f"realign starts imply widths {widths.tolist()} but the rows "
                     f"hold {layer.widths}"
                 )
+            if layer.native:
+                # Tails live at column 0 with origin ``flushed`` — a row's
+                # logical start column is derived, so realignment (both
+                # compaction and pre-admission growth) is pure bookkeeping.
+                layer.length = new_length
+                continue
             if layer._ws_k is not None:
                 layer._ensure_workspace(layer.batch_size, new_length)
                 for i in range(starts.size):

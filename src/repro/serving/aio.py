@@ -268,6 +268,7 @@ class AsyncEngine:
         cache_pool: PrefixCachePool | None = None,
         admit_deadline: float = 0.0,
         min_admit_rows: int = 1,
+        prefill_chunk_tokens: int | None = None,
         clock=time.perf_counter,
         rng: np.random.Generator | int | None = None,
         on_step: Callable[["AsyncEngine"], None] | None = None,
@@ -284,6 +285,7 @@ class AsyncEngine:
             cache_pool=self.cache_pool,
             admit_deadline=admit_deadline,
             min_admit_rows=min_admit_rows,
+            prefill_chunk_tokens=prefill_chunk_tokens,
             clock=clock,
             rng=self.rng,
             kv_layout=kv_layout,
@@ -784,6 +786,7 @@ class AsyncEngine:
         self._expire_and_cancel()
 
         steps_before = engine.stats.steps
+        prefill_before = engine.stats.prefill_tokens
         finished: list[EngineRequest] = []
         try:
             if engine.has_work:
@@ -804,14 +807,19 @@ class AsyncEngine:
         for request in list(self._active.values()):
             self._publish(request, final=False)
         scored = self._run_one_score()
-        if self.on_step is not None and (
-            engine.stats.steps > steps_before or finished or scored
-        ):
+        # A pure chunk-prefill step decodes nothing but *is* progress — the
+        # prompts advanced — so count consumed prefill tokens alongside
+        # decode steps or the stepper would deadline-sleep mid-prefill.
+        stepped = (
+            engine.stats.steps > steps_before
+            or engine.stats.prefill_tokens > prefill_before
+        )
+        if self.on_step is not None and (stepped or finished or scored):
             try:
                 self.on_step(self)
             except Exception:
                 pass  # observation hooks must not kill the stepper
-        made_progress = engine.stats.steps > steps_before or bool(finished) or scored
+        made_progress = stepped or bool(finished) or scored
         if not made_progress and engine.has_work:
             # The engine is deadline-holding queued arrivals (idle batch
             # under admit_deadline, or a min_admit_rows hold).  Sleep

@@ -16,6 +16,13 @@ core directly:
   small admissions so lone stragglers do not pay one prefill forward each;
 * rows retire the moment they emit a stop token, exhaust their token
   budget, or hit the context window, immediately freeing their slot;
+* with a ``prefill_chunk_tokens`` budget, admissions instead enter the
+  batch immediately in a *prefilling* state and every scheduling step
+  consumes at most one budget's worth of queued prompt tokens beside the
+  running decode rows (Sarathi-style chunked prefill piggybacking): a long
+  arriving prompt delays each decode step by at most one bounded chunk
+  instead of stalling it for the whole prompt, and greedy outputs stay
+  token-identical to the atomic path;
 * when the engine is *idle*, batch formation follows a deadline-based
   closing policy: decoding starts once ``max_batch_rows`` requests are
   queued or the oldest request has waited ``admit_deadline`` seconds,
@@ -86,7 +93,13 @@ class EngineRequest:
     state: DecodeState
     submitted_at: float
     admitted_at: float | None = None
+    #: Total prompt-forward time.  Under chunked prefill this *accumulates*
+    #: across the steps the prompt was consumed in, so the timing identity
+    #: above stays exact however many chunks the prefill took.
     prefill_seconds: float = 0.0
+    #: Prefill chunks this request's prompt was consumed in (0 = atomic
+    #: prefill on the unchunked path).
+    prefill_chunks: int = 0
     first_token_at: float | None = None
     finished_at: float | None = None
     #: Prompt tokens served from the prefix-cache pool instead of prefilled.
@@ -167,6 +180,18 @@ class EngineStats(SchedulerStats):
     parks: int = 0
     wakeups: int = 0
     peak_queue_depth: int = 0
+    #: Chunked-prefill occupancy (populated when the engine runs with a
+    #: ``prefill_chunk_tokens`` budget).  ``prefill_tokens`` /
+    #: ``prefill_chunks`` are lifetime totals; the ``step_*`` lists record,
+    #: for every scheduling step that did work, how many prompt tokens rode
+    #: along (piggybacked prefill) and how many rows decoded — the per-step
+    #: occupancy trace behind :meth:`stall_histogram`.
+    prefill_tokens: int = 0
+    prefill_chunks: int = 0
+    step_prefill_tokens: list = field(default_factory=list)
+    step_decode_rows: list = field(default_factory=list)
+    #: Per finished request: prefill chunks its prompt took (0 = atomic).
+    chunks_per_request: list = field(default_factory=list)
     queue_seconds: list = field(default_factory=list)
     prefill_seconds: list = field(default_factory=list)
     ttft_seconds: list = field(default_factory=list)
@@ -183,6 +208,28 @@ class EngineStats(SchedulerStats):
     @property
     def mean_ttft_seconds(self) -> float:
         return float(np.mean(self.ttft_seconds)) if self.ttft_seconds else 0.0
+
+    def stall_histogram(self) -> dict:
+        """Distribution of piggybacked prefill tokens per scheduling step.
+
+        Buckets are powers of two.  The ``"0"`` bucket counts pure decode
+        steps; heavy buckets show how much prompt work rode inside decode
+        steps — under a sane chunk budget the mass sits at or below the
+        budget, i.e. a decode step is never stalled by more than one
+        chunk's worth of prefill compute.
+        """
+        labels = ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64+"]
+        counts = dict.fromkeys(labels, 0)
+        for tokens in self.step_prefill_tokens:
+            tokens = int(tokens)
+            if tokens <= 0:
+                counts["0"] += 1
+            elif tokens >= 64:
+                counts["64+"] += 1
+            else:
+                low = 1 << (tokens.bit_length() - 1)
+                counts["1" if low == 1 else f"{low}-{2 * low - 1}"] += 1
+        return counts
 
     def sla_summary(self) -> dict:
         """Aggregate SLA view (means; per-request values sit on the handles)."""
@@ -204,6 +251,24 @@ class EngineStats(SchedulerStats):
             "parks": self.parks,
             "wakeups": self.wakeups,
             "peak_queue_depth": self.peak_queue_depth,
+            "prefill_tokens": self.prefill_tokens,
+            "prefill_chunks": self.prefill_chunks,
+            "mean_prefill_chunks": (
+                float(np.mean(self.chunks_per_request))
+                if self.chunks_per_request
+                else 0.0
+            ),
+            "mean_step_prefill_tokens": (
+                float(np.mean(self.step_prefill_tokens))
+                if self.step_prefill_tokens
+                else 0.0
+            ),
+            "mean_step_decode_rows": (
+                float(np.mean(self.step_decode_rows))
+                if self.step_decode_rows
+                else 0.0
+            ),
+            "prefill_stall_histogram": self.stall_histogram(),
         }
 
 
@@ -226,6 +291,7 @@ class ContinuousBatchingEngine:
         cache_pool: PrefixCachePool | None = None,
         admit_deadline: float = 0.0,
         min_admit_rows: int = 1,
+        prefill_chunk_tokens: int | None = None,
         clock=time.perf_counter,
         rng: np.random.Generator | int | None = None,
         kv_layout: str = "dense",
@@ -238,6 +304,10 @@ class ContinuousBatchingEngine:
         if not 0 < min_admit_rows <= max_batch_rows:
             raise ValueError(
                 f"min_admit_rows must lie in [1, max_batch_rows], got {min_admit_rows}"
+            )
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
+            raise ValueError(
+                f"prefill_chunk_tokens must be positive, got {prefill_chunk_tokens}"
             )
         self.model = model
         self.max_batch_rows = max_batch_rows
@@ -257,6 +327,16 @@ class ContinuousBatchingEngine:
         #: (or past ``admit_deadline``), never starved until the batch
         #: drains.
         self.min_admit_rows = min_admit_rows
+        #: Per-step prefill token budget (Sarathi-style chunked prefill).
+        #: When set, admissions enter the batch immediately in a
+        #: ``prefilling`` state and each scheduling step consumes at most
+        #: this many prompt tokens across them — piggybacked beside the
+        #: running decode rows — so a long arriving prompt never stalls the
+        #: in-flight decodes for its whole length.  ``None`` keeps the
+        #: atomic (one-forward) prefill path.
+        self.prefill_chunk_tokens = (
+            None if prefill_chunk_tokens is None else int(prefill_chunk_tokens)
+        )
         self._held_steps = 0
         self.clock = clock
         self.rng = new_rng(rng)
@@ -278,7 +358,7 @@ class ContinuousBatchingEngine:
 
     @property
     def num_active(self) -> int:
-        """Requests currently decoding in the live batch."""
+        """Requests holding a live slot (decoding or chunk-prefilling)."""
         return self.batch.num_rows
 
     @property
@@ -331,6 +411,8 @@ class ContinuousBatchingEngine:
         budget / prompt already at the context limit — they take no row).
         """
         finished: list[EngineRequest] = []
+        if self.prefill_chunk_tokens is not None:
+            return self._admit_group_chunked(group)
         fresh: list[EngineRequest] = []
         for request in group:
             request.admitted_at = self.clock()
@@ -376,6 +458,66 @@ class ContinuousBatchingEngine:
                 self._live[id(request.state)] = request
         return finished
 
+    def _admit_group_chunked(self, group: list[EngineRequest]) -> list[EngineRequest]:
+        """Register an admission group for chunk-by-chunk prefilling.
+
+        No prompt forward runs here: each startable request takes a
+        scheduling slot in the ``prefilling`` state and :meth:`step`'s
+        chunk phase consumes its prompt under the per-step token budget.
+        With a pool, every request checks out a prefix cache (a miss seeds
+        the pool — the advanced cache is checked back in once the prompt is
+        consumed), so pool hits skip straight past the covered span exactly
+        like the atomic path.  Returns the requests that finished during
+        admission (unstartable — they take no slot).
+        """
+        finished: list[EngineRequest] = []
+        for request in group:
+            request.admitted_at = self.clock()
+            state = request.state
+            prompt = state.prompt_ids
+            prefill_cache = None
+            if self.cache_pool is not None:
+                prefill_cache, reused = self.cache_pool.checkout(prompt)
+                request.reused_tokens = reused
+            started = self.batch.admit_chunked(state, prefill_cache=prefill_cache)
+            elapsed = self.clock() - request.admitted_at
+            if not started:
+                if prefill_cache is not None:
+                    self.cache_pool.checkin(prompt, prefill_cache)
+                request.prefill_seconds += elapsed
+                self._finish(request)
+                finished.append(request)
+                continue
+            request.prefill_seconds += elapsed
+            self._live[id(state)] = request
+        return finished
+
+    def _prefill_chunk_phase(self) -> int:
+        """Consume at most ``prefill_chunk_tokens`` prompt tokens across the
+        prefilling requests (FIFO admission order); requests whose prompt is
+        exhausted flip to decoding and their staging cache is checked back
+        into the pool.  Returns the tokens consumed this step."""
+        budget = self.prefill_chunk_tokens
+        consumed_total = 0
+        for state in list(self.batch.prefilling):
+            if budget <= 0:
+                break
+            request = self._live[id(state)]
+            chunk_start = self.clock()
+            consumed = self.batch.prefill_step(state, budget)
+            request.prefill_seconds += self.clock() - chunk_start
+            if consumed:
+                request.prefill_chunks += 1
+                budget -= consumed
+                consumed_total += consumed
+                self.stats.prefill_tokens += consumed
+                self.stats.prefill_chunks += 1
+            if state.admitted:
+                staging = self.batch.release_prefill(state)
+                if staging is not None:
+                    self.cache_pool.checkin(state.prompt_ids, staging)
+        return consumed_total
+
     def _finish(self, request: EngineRequest) -> None:
         request.finished_at = self.clock()
         request.result = request.state.output()
@@ -387,6 +529,7 @@ class ContinuousBatchingEngine:
         if request.ttft_seconds is not None:
             self.stats.ttft_seconds.append(request.ttft_seconds)
         self.stats.decode_steps.append(request.decode_steps)
+        self.stats.chunks_per_request.append(request.prefill_chunks)
 
     def _admit_pending(self, force: bool) -> list[EngineRequest]:
         """Admit queued requests into free rows; returns any that finished
@@ -428,17 +571,29 @@ class ContinuousBatchingEngine:
         return finished
 
     def step(self, *, force_admit: bool = False) -> list[EngineRequest]:
-        """One scheduling iteration: admit, decode one step, retire.
+        """One scheduling iteration: admit, chunk-prefill, decode, retire.
 
         Returns the requests that finished during this iteration.  An idle
         engine holding requests back under the admission deadline does
         nothing and returns ``[]`` (``force_admit`` overrides, as
-        :meth:`drain` does).
+        :meth:`drain` does).  Under a ``prefill_chunk_tokens`` budget the
+        step first consumes up to one budget's worth of queued prompt
+        tokens (requests whose prompt completes join this very step's
+        decode), then decodes the live rows — so decode latency per step is
+        bounded regardless of arriving prompt lengths.
         """
         finished = self._admit_pending(force_admit)
         if self.batch.num_rows == 0:
             return finished
-        rows = self.batch.num_rows
+        chunk_tokens = 0
+        if self.prefill_chunk_tokens is not None and self.batch.num_prefilling:
+            chunk_tokens = self._prefill_chunk_phase()
+        self.stats.step_prefill_tokens.append(chunk_tokens)
+        self.stats.step_decode_rows.append(self.batch.num_decoding)
+        if self.batch.num_decoding == 0:
+            # A pure-prefill step: prompts advanced but nothing decodes yet.
+            return finished
+        rows = self.batch.num_decoding
         # Tokens are sampled at the top of the decode step, before the
         # survivors' forward — stamp first-token times accordingly so TTFT
         # does not absorb the next step's compute.
@@ -478,7 +633,20 @@ class ContinuousBatchingEngine:
         state = request.state
         if id(state) in self._live:
             state.finished, state.finish_reason = True, reason
-            self.batch.retire_finished()
+            if not state.admitted:
+                # Cancelled mid-prefill: the request holds no cache row yet,
+                # only a prefilling slot and a staging cache.  Free the slot;
+                # a borrowed (pool) staging cache goes back in holding the
+                # prefix prefilled so far — future overlapping traffic still
+                # benefits from the chunks this request paid for.
+                staging = self.batch.release_prefill(state)
+                if staging is not None:
+                    if staging.length > 0:
+                        self.cache_pool.checkin(state.prompt_ids, staging)
+                    elif hasattr(staging, "release"):
+                        staging.release()
+            else:
+                self.batch.retire_finished()
             self._live.pop(id(state))
         else:
             try:
@@ -498,6 +666,10 @@ class ContinuousBatchingEngine:
         self._queue.clear()
         self._live.clear()
         self._held_steps = 0
+        for state in list(self.batch.prefilling):
+            staging = self.batch.release_prefill(state)
+            if staging is not None and hasattr(staging, "release"):
+                staging.release()
         self.batch = DecodeBatch(
             self.model,
             capacity=self.model.config.max_position,
