@@ -801,6 +801,26 @@ class PagedLayerKVCache:
             self.tables[row], start - row_start, stop - row_start
         )
 
+    def _shrink_row(self, row: int, drop: int) -> None:
+        """Drop ``drop`` positions off the end of one row's filled span.
+
+        Whole blocks past the persisted prefix are released; a *partially*
+        kept block is deliberately left alone — it may still be CoW-shared
+        with a pool entry or clone, and the only legal way to write into it
+        again is :meth:`flush_row`, whose ``make_writable`` call claims (or
+        splits) every block it is about to touch.  Rollback must never
+        poke block storage directly, or a shared donor would see the
+        re-decoded bytes.
+        """
+        new_width = self.widths[row] - drop
+        self.flushed[row] = min(self.flushed[row], new_width)
+        keep = self._blocks_for(self.flushed[row])
+        freed = self.tables[row][keep:]
+        if freed:
+            self.allocator.decref(freed)
+            del self.tables[row][keep:]
+        self.widths[row] = new_width
+
     def truncate(self, length: int) -> None:
         """Roll back to ``length`` filled positions; freed flushed tail
         blocks are released (shared blocks just drop one reference)."""
@@ -809,15 +829,44 @@ class PagedLayerKVCache:
         drop = self.length - length
         if drop:
             for row in range(self.batch_size):
-                new_width = max(0, self.widths[row] - drop)
-                self.flushed[row] = min(self.flushed[row], new_width)
-                keep = self._blocks_for(self.flushed[row])
-                freed = self.tables[row][keep:]
-                if freed:
-                    self.allocator.decref(freed)
-                    del self.tables[row][keep:]
-                self.widths[row] = new_width
+                self._shrink_row(row, min(drop, self.widths[row]))
         self.length = length
+
+    def truncate_row(self, row: int, length: int) -> None:
+        """Roll *one* row back ``self.length - length`` positions.
+
+        The speculative-decode rollback primitive, mirroring the dense
+        :meth:`~repro.nn.attention.LayerKVCache.truncate_row`: the row's
+        rejected tail is dropped and its kept span re-right-aligned so it
+        still ends at the (unchanged) live end, while batch neighbours keep
+        their accepted positions.  In window mode the kept columns shift
+        right inside the workspace; in native mode the tail buffer's origin
+        is ``flushed``, so the cut is pure bookkeeping — either the tail
+        shrinks from its end in place, or the cut lands below ``flushed``
+        and empties the tail entirely.  Either way a partially kept,
+        possibly CoW-shared block is reclaimed only later, by
+        ``flush_row``'s ``make_writable`` claim (see :meth:`_shrink_row`).
+        """
+        if not 0 <= row < self.batch_size:
+            raise ValueError(f"row {row} outside batch of {self.batch_size}")
+        if not 0 <= length <= self.length:
+            raise ValueError(
+                f"cannot roll a row of a length-{self.length} cache back to {length}"
+            )
+        drop = self.length - length
+        if drop == 0:
+            return
+        if drop > self.widths[row]:
+            raise ValueError(
+                f"cannot drop {drop} positions from row {row}'s "
+                f"{self.widths[row]}-position span"
+            )
+        self._shrink_row(row, drop)
+        if not self.native and self._ws_k is not None:
+            # Re-right-align the kept columns so the row's span ends at the
+            # live end again (.copy(): source and destination overlap).
+            self._ws_k[row, :, drop : self.length] = self._ws_k[row, :, :length].copy()
+            self._ws_v[row, :, drop : self.length] = self._ws_v[row, :, :length].copy()
 
     def grow(self, capacity: int) -> None:
         """Raise the logical column capacity.  Blocks are allocated on
@@ -941,6 +990,12 @@ class PagedKVCache:
     def truncate(self, length: int) -> None:
         for layer in self.layers:
             layer.truncate(length)
+
+    def truncate_row(self, row: int, length: int) -> None:
+        """Roll one row back to ``length`` positions in every layer
+        (speculative-decode rollback; batch neighbours untouched)."""
+        for layer in self.layers:
+            layer.truncate_row(row, length)
 
     def grow(self, capacity: int) -> None:
         for layer in self.layers:

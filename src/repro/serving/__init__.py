@@ -19,12 +19,18 @@ pieces that turn single-stream inference into a serving stack:
 * :class:`BatchScheduler` — a thin sync adapter: queues generate/score
   requests and, on ``flush``, submits them to the async engine in one
   atomic batch and blocks on the futures.
+* :class:`SpeculativeDecoder` — draft-then-verify decoding: a small
+  drafter proposes ``draft_k`` tokens, the target verifies them in one
+  forward, rejected tails roll back via per-row cache truncation.  Both
+  engines enable it with ``draft_model=``; greedy outputs stay
+  token-identical to plain stepping.
 """
 
 from repro.serving.pool import PoolStats, PrefixCachePool
 from repro.serving.scheduler import BatchScheduler, SchedulerStats, ServingRequest
 from repro.serving.engine import ContinuousBatchingEngine, EngineRequest, EngineStats
 from repro.serving.aio import AsyncEngine, AsyncRequest, RequestCancelled, RequestTimeout
+from repro.serving.speculative import SpeculativeDecoder
 
 __all__ = [
     "PoolStats",
@@ -39,4 +45,5 @@ __all__ = [
     "AsyncRequest",
     "RequestCancelled",
     "RequestTimeout",
+    "SpeculativeDecoder",
 ]

@@ -274,6 +274,8 @@ class AsyncEngine:
         on_step: Callable[["AsyncEngine"], None] | None = None,
         kv_layout: str = "dense",
         kv_dtype: str = "fp32",
+        draft_model: DecoderLM | None = None,
+        draft_k: int = 4,
     ) -> None:
         self.model = model
         self.cache_pool = cache_pool or PrefixCachePool.default(model, kv_layout, kv_dtype)
@@ -290,6 +292,8 @@ class AsyncEngine:
             rng=self.rng,
             kv_layout=kv_layout,
             kv_dtype=kv_dtype,
+            draft_model=draft_model,
+            draft_k=draft_k,
         )
         self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
         self.on_step = on_step

@@ -124,7 +124,13 @@ class EngineRequest:
 
     @property
     def decode_steps(self) -> int:
-        """Engine iterations this request participated in (== tokens emitted)."""
+        """Tokens emitted for this request.
+
+        Equals the engine iterations it decoded through under plain
+        stepping; a speculative engine emits up to ``draft_k + 1`` tokens
+        per iteration, so this stays the *token* count (the quantity SLA
+        math and throughput reports care about).
+        """
         return self.state.gen_len
 
     @property
@@ -196,6 +202,22 @@ class EngineStats(SchedulerStats):
     prefill_seconds: list = field(default_factory=list)
     ttft_seconds: list = field(default_factory=list)
     decode_steps: list = field(default_factory=list)
+    #: Speculative decoding (populated when the engine runs with a
+    #: ``draft_model``): lifetime drafter proposals and how many of them
+    #: were accepted and emitted.  Tokens emitted stay measured by
+    #: ``decode_steps``; ``steps`` counts engine iterations, so tokens per
+    #: iteration rises with the accept rate.
+    drafted_tokens: int = 0
+    accepted_draft_tokens: int = 0
+
+    @property
+    def accept_rate(self) -> float:
+        """Fraction of drafter proposals accepted (0.0 without a drafter)."""
+        return (
+            self.accepted_draft_tokens / self.drafted_tokens
+            if self.drafted_tokens
+            else 0.0
+        )
 
     @property
     def mean_rows_per_step(self) -> float:
@@ -246,6 +268,9 @@ class EngineStats(SchedulerStats):
             "mean_decode_steps": (
                 float(np.mean(self.decode_steps)) if self.decode_steps else 0.0
             ),
+            "drafted_tokens": self.drafted_tokens,
+            "accepted_draft_tokens": self.accepted_draft_tokens,
+            "accept_rate": self.accept_rate,
             "cancelled": self.cancelled,
             "timeouts": self.timeouts,
             "parks": self.parks,
@@ -296,6 +321,8 @@ class ContinuousBatchingEngine:
         rng: np.random.Generator | int | None = None,
         kv_layout: str = "dense",
         kv_dtype: str = "fp32",
+        draft_model: DecoderLM | None = None,
+        draft_k: int = 4,
     ) -> None:
         if max_batch_rows <= 0:
             raise ValueError(f"max_batch_rows must be positive, got {max_batch_rows}")
@@ -341,6 +368,18 @@ class ContinuousBatchingEngine:
         self.clock = clock
         self.rng = new_rng(rng)
         self.stats = EngineStats()
+        #: Speculative decoding: when a ``draft_model`` is supplied, every
+        #: decode iteration drafts up to ``draft_k`` tokens per row with it
+        #: and verifies them in one target forward — greedy outputs stay
+        #: token-identical to plain stepping, the drafter only buys
+        #: throughput.  Accept-rate counters land in :class:`EngineStats`.
+        self.speculative = None
+        if draft_model is not None:
+            from repro.serving.speculative import SpeculativeDecoder
+
+            self.speculative = SpeculativeDecoder(
+                model, draft_model, draft_k=draft_k
+            )
         self.batch = DecodeBatch(
             model,
             capacity=model.config.max_position,
@@ -598,7 +637,14 @@ class ContinuousBatchingEngine:
         # survivors' forward — stamp first-token times accordingly so TTFT
         # does not absorb the next step's compute.
         sampled_at = self.clock()
-        retired = self.batch.step(self.rng)
+        if self.speculative is not None:
+            drafted = self.speculative.drafted
+            accepted = self.speculative.accepted
+            retired = self.speculative.step(self.batch, self.rng)
+            self.stats.drafted_tokens += self.speculative.drafted - drafted
+            self.stats.accepted_draft_tokens += self.speculative.accepted - accepted
+        else:
+            retired = self.batch.step(self.rng)
         self.stats.steps += 1
         self.stats.row_steps += rows
         for state in retired:

@@ -1,0 +1,433 @@
+"""Speculative decoding: a registry drafter proposes, the target verifies.
+
+Per-token decode cost in the serving stack is one full target forward per
+emitted token.  :class:`SpeculativeDecoder` breaks that bound with the
+classic draft-then-verify loop: a small drafter model proposes ``draft_k``
+tokens autoregressively off its own (dense or paged) KV cache, the target
+verifies all of them in **one** batched :meth:`forward_incremental` call,
+the matched prefix is accepted, and each row's rejected tail rolls back via
+per-row cache truncation (:meth:`DecodeBatch.rollback_row`).
+
+The invariant that makes the verify forward pay for itself: between
+speculative steps a row's target cache holds every history position *except
+the last emitted token's* — the "pending" token.  The verify forward then
+feeds ``[pending, g_1, .., g_k]`` (``1 + draft_k`` uniform columns for every
+row), and its ``1 + draft_k`` output distributions are exactly the
+next-token distributions after 0, 1, .., k accepted drafts.  Accepting all
+``k`` drafts therefore still yields a free "bonus" token from the final
+distribution — up to ``draft_k + 1`` tokens per target forward, with no
+extra forward on full acceptance.
+
+Acceptance is exact: greedy rows accept a draft iff it equals the target's
+argmax, making the output token-identical to plain cached decode no matter
+how bad the drafter is (the drafter only moves *throughput*).  Sampling
+rows (temperature > 0) use lossless speculative rejection sampling [Leviathan
+et al.]: draft ``g ~ q`` is accepted with probability ``min(1, p(g)/q(g))``,
+a rejection samples from the normalised residual ``max(p - q, 0)`` — the
+emitted distribution is exactly the target's ``p`` for any drafter ``q``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.decoder import DecodeBatch, DecodeState
+from repro.nn.paged import validate_kv_config
+from repro.tensor import functional as F, no_grad
+from repro.utils.rng import new_rng
+
+
+class _DrafterRow:
+    """Per-request drafter bookkeeping: the draft model's own batch-1 KV
+    cache plus how many history tokens it currently holds."""
+
+    __slots__ = ("cache", "length")
+
+    def __init__(self, cache) -> None:
+        self.cache = cache
+        self.length = 0
+
+
+class SpeculativeDecoder:
+    """Pairs a target :class:`~repro.models.decoder.DecoderLM` with a small
+    drafter and steps a live :class:`DecodeBatch` several tokens at a time.
+
+    Drop-in for the plain stepping loop: :meth:`step` has the same contract
+    as :meth:`DecodeBatch.step` (returns the retired states), and both
+    engines substitute it transparently when constructed with a
+    ``draft_model``.  Rows are free to join and leave the batch between
+    steps — fresh admissions are normalised into the speculative invariant
+    on their first step, and retiring rows drop their drafter state.
+
+    ``tokenizer``/``draft_tokenizer`` are optional identity guards: models
+    loaded from one :class:`~repro.models.registry.ModelRegistry` share its
+    tokenizer, but hand-assembled pairs with different vocabularies or
+    tokenizers would produce garbage argmax comparisons at runtime, so
+    mismatches raise at construction instead.
+    """
+
+    def __init__(
+        self,
+        model,
+        draft_model,
+        *,
+        draft_k: int = 4,
+        tokenizer=None,
+        draft_tokenizer=None,
+        draft_kv_layout: str = "dense",
+        draft_kv_dtype: str = "fp32",
+    ) -> None:
+        if int(draft_k) < 1:
+            raise ValueError(f"draft_k must be >= 1, got {draft_k}")
+        target_vocab = getattr(model, "vocab_size", None)
+        drafter_vocab = getattr(draft_model, "vocab_size", None)
+        if target_vocab != drafter_vocab:
+            raise ValueError(
+                f"drafter vocab size {drafter_vocab} does not match target "
+                f"vocab size {target_vocab} — draft token ids would be "
+                "meaningless to the target model"
+            )
+        if (
+            tokenizer is not None
+            and draft_tokenizer is not None
+            and draft_tokenizer is not tokenizer
+            and draft_tokenizer != tokenizer
+        ):
+            raise ValueError(
+                "drafter and target were built for different tokenizers — "
+                "their token ids do not refer to the same strings"
+            )
+        validate_kv_config(draft_kv_layout, draft_kv_dtype)
+        self.model = model
+        self.draft_model = draft_model
+        self.tokenizer = tokenizer
+        self.draft_tokenizer = draft_tokenizer
+        self.draft_k = int(draft_k)
+        self.draft_kv_layout = draft_kv_layout
+        self.draft_kv_dtype = draft_kv_dtype
+        #: Cumulative across every stepped batch: drafter proposals made,
+        #: proposals accepted *and emitted*, and verify steps run.
+        self.drafted = 0
+        self.accepted = 0
+        self.steps = 0
+
+    @classmethod
+    def from_registry(cls, registry, model_name: str, draft_name: str, **kwargs):
+        """Build a decoder from two registry models (shared tokenizer)."""
+        model = registry.load_decoder(model_name)
+        draft_model = registry.load_decoder(draft_name)
+        kwargs.setdefault("tokenizer", registry.tokenizer)
+        kwargs.setdefault("draft_tokenizer", registry.tokenizer)
+        return cls(model, draft_model, **kwargs)
+
+    @property
+    def accept_rate(self) -> float:
+        """Fraction of drafter proposals accepted and emitted so far."""
+        return self.accepted / self.drafted if self.drafted else 0.0
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def step(
+        self, batch: DecodeBatch, rng: np.random.Generator | None = None
+    ) -> list[DecodeState]:
+        """One speculative iteration over the live batch.
+
+        Drafts up to ``draft_k`` tokens per row, verifies them (plus each
+        row's pending token) in a single target forward, emits the accepted
+        prefix token-by-token through the batch's finish checks, rolls the
+        rejected tails back per row, and retires finished rows.  Returns
+        the retired states, like :meth:`DecodeBatch.step`.
+        """
+        if not batch.states:
+            return []
+        if any(st.temperature > 0 for st in batch.states) and rng is None:
+            raise ValueError("temperature sampling requires an rng")
+        # Fresh admissions arrive in the plain-step invariant (cache holds
+        # the full history, a pending distribution is stored).  Move them
+        # into the speculative invariant: drop the last emitted token's
+        # cached position and discard the stored distribution — the verify
+        # forward recomputes it bit-identically as its first column.
+        for st in batch.states:
+            if st.next_log_probs is not None:
+                batch.rollback_row(st, 1)
+                st.next_log_probs = None
+        max_position = self.model.config.max_position
+        max_pos = max(st.position for st in batch.states)
+        # Uniform draft width: verify positions run up to max_pos-1+k (the
+        # position-encoding bound) and the widest row's span plus 1+k new
+        # columns must fit the batch's column capacity.
+        k_eff = min(self.draft_k, max_position - max_pos, batch.capacity - max_pos)
+        k_eff = max(k_eff, 0)
+        states = list(batch.states)
+        draft_qs: list[list[np.ndarray | None]] = []
+        for st in states:
+            draft_qs.append(self._draft(st, k_eff, rng))
+        # One batched verify forward over [pending, g_1, .., g_k] per row.
+        s = 1 + k_eff
+        ids = np.empty((len(states), s), dtype=np.int64)
+        positions = np.empty((len(states), s), dtype=np.int64)
+        for i, st in enumerate(states):
+            pending = (
+                st.generated[st.gen_len - 1] if st.gen_len else st.prompt_ids[-1]
+            )
+            ids[i, 0] = pending
+            if k_eff:
+                ids[i, 1:] = st.draft_tokens
+            positions[i] = st.position - 1 + np.arange(s)
+        log_probs = batch._forward_columns(ids, positions)
+        self.steps += 1
+        for i, st in enumerate(states):
+            history_len = st.position  # before this step's emission
+            accepted, emit = self._accept(st, log_probs[i], k_eff, draft_qs[i], rng)
+            emitted = batch._emit_tokens(st, emit)
+            accepted_emitted = min(accepted, emitted)
+            st.draft_tokens = None
+            st.spec_drafted += k_eff
+            st.spec_accepted += accepted_emitted
+            self.drafted += k_eff
+            self.accepted += accepted_emitted
+            if st.finished:
+                continue  # row retires below; no rollback needed
+            batch.rollback_row(st, s - emitted)
+            self._rollback_drafter(st, history_len, accepted_emitted)
+        return batch.retire_finished()
+
+    # ------------------------------------------------------------------ #
+    # drafting
+    # ------------------------------------------------------------------ #
+    def _make_draft_cache(self, st: DecodeState):
+        capacity = min(
+            self.draft_model.config.max_position,
+            len(st.prompt_ids) + max(st.max_new_tokens, 1) + self.draft_k,
+        )
+        if self.draft_kv_layout == "paged":
+            return self.draft_model.make_paged_cache(
+                1, capacity, kv_dtype=self.draft_kv_dtype, native=True
+            )
+        return self.draft_model.make_cache(1, capacity)
+
+    def _draft(
+        self, st: DecodeState, k_eff: int, rng: np.random.Generator | None
+    ) -> list[np.ndarray | None]:
+        """Propose ``k_eff`` tokens for one row into ``st.draft_tokens``.
+
+        The drafter decodes autoregressively off its own cache: one gap-fill
+        forward brings it up to date with the accepted history (the rolled-
+        back tail of the previous step was truncated away, so the gap is at
+        most two tokens), then ``k_eff - 1`` single-token forwards extend
+        the proposals.  Returns the drafter's per-proposal distributions
+        (``None`` for greedy rows and for padding proposals emitted when
+        the drafter's context window is exhausted — padding is still
+        *correct*, it just stops saving target forwards).
+        """
+        qs: list[np.ndarray | None] = [None] * k_eff
+        if k_eff == 0:
+            st.draft_tokens = np.empty(0, dtype=np.int64)
+            return qs
+        entry = st.draft_cache
+        if not isinstance(entry, _DrafterRow):
+            entry = _DrafterRow(self._make_draft_cache(st))
+            st.draft_cache = entry
+        tokens = st.output()
+        history_len = len(tokens)
+        draft_max = self.draft_model.config.max_position
+        drafts = np.empty(k_eff, dtype=np.int64)
+        log_probs = None
+        if history_len <= draft_max and entry.length < history_len:
+            gap = tokens[entry.length : history_len]
+            with no_grad():
+                logits = self.draft_model.forward_incremental(
+                    gap[None, :], entry.cache, last_logits_only=True
+                )
+                log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
+            entry.length = history_len
+        for j in range(k_eff):
+            if log_probs is None:
+                # Drafter context exhausted: pad with the last real token.
+                # Verification treats a pad like any other (likely wrong)
+                # proposal, so output correctness is unaffected.
+                drafts[j] = tokens[-1]
+                continue
+            if st.temperature <= 0:
+                drafts[j] = int(np.argmax(log_probs))
+            else:
+                probs = _tempered_probs(log_probs, st.temperature)
+                drafts[j] = _sample_cdf(probs, rng)
+                qs[j] = probs
+            if j + 1 < k_eff:
+                if entry.length + 1 <= draft_max:
+                    with no_grad():
+                        logits = self.draft_model.forward_incremental(
+                            drafts[j : j + 1][None, :],
+                            entry.cache,
+                            last_logits_only=True,
+                        )
+                        log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
+                    entry.length += 1
+                else:
+                    log_probs = None
+        st.draft_tokens = drafts
+        return qs
+
+    def _rollback_drafter(
+        self, st: DecodeState, history_len: int, accepted_emitted: int
+    ) -> None:
+        """Truncate the drafter cache to the accepted history prefix.
+
+        After drafting, the drafter cache holds the old history plus the
+        first ``k_eff - 1`` proposals; of those proposals only the emitted
+        accepted prefix survives in the *target's* history, so everything
+        past ``history_len + accepted_emitted`` is stale."""
+        entry = st.draft_cache
+        if not isinstance(entry, _DrafterRow):
+            return
+        entered = max(entry.length - history_len, 0)
+        keep = history_len + min(accepted_emitted, entered)
+        if entry.length > keep:
+            entry.cache.truncate(keep)
+            entry.length = keep
+
+    # ------------------------------------------------------------------ #
+    # acceptance
+    # ------------------------------------------------------------------ #
+    def _accept(
+        self,
+        st: DecodeState,
+        row_log_probs: np.ndarray,
+        k_eff: int,
+        qs: list[np.ndarray | None],
+        rng: np.random.Generator | None,
+    ) -> tuple[int, list[int]]:
+        """Decide one row's emission from its (1+k, vocab) verify outputs.
+
+        Returns ``(accepted, emit)``: how many drafts were accepted and the
+        tokens to emit — the accepted drafts plus exactly one closing token
+        (the target's correction on a rejection, or the free bonus token on
+        full acceptance).
+        """
+        drafts = st.draft_tokens
+        if st.temperature <= 0:
+            greedy = np.argmax(row_log_probs, axis=-1)
+            accepted = 0
+            while accepted < k_eff and int(greedy[accepted]) == int(drafts[accepted]):
+                accepted += 1
+            emit = [int(t) for t in drafts[:accepted]]
+            emit.append(int(greedy[accepted]))
+            return accepted, emit
+        emit: list[int] = []
+        for j in range(k_eff):
+            p = _tempered_probs(row_log_probs[j], st.temperature)
+            g = int(drafts[j])
+            q = qs[j]
+            if q is None:
+                # Padding proposal == a one-hot q at g: accept with p(g),
+                # reject into p with g zeroed.  Still exactly lossless.
+                accept_prob = p[g]
+                residual = p.copy()
+                residual[g] = 0.0
+            else:
+                accept_prob = min(1.0, p[g] / max(q[g], 1e-30))
+                residual = np.maximum(p - q, 0.0)
+            if rng.random() < accept_prob:
+                emit.append(g)
+                continue
+            total = residual.sum()
+            if total <= 0.0:
+                residual, total = p, p.sum()  # q covers p exactly; resample p
+            emit.append(_sample_cdf(residual / total, rng))
+            return j, emit
+        p = _tempered_probs(row_log_probs[k_eff], st.temperature)
+        emit.append(_sample_cdf(p, rng))
+        return k_eff, emit
+
+    # ------------------------------------------------------------------ #
+    # convenience front doors (bench / parity harnesses)
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        input_ids: np.ndarray,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+        rng: np.random.Generator | int | None = None,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
+    ) -> np.ndarray:
+        """Speculatively extend one 1-D prompt (mirrors ``model.generate``)."""
+        return self.generate_batch(
+            [input_ids],
+            max_new_tokens,
+            temperature=temperature,
+            stop_ids=stop_ids,
+            rng=rng,
+            kv_layout=kv_layout,
+            kv_dtype=kv_dtype,
+        )[0]
+
+    def generate_batch(
+        self,
+        prompts,
+        max_new_tokens: int = 16,
+        *,
+        temperature: float = 0.0,
+        stop_ids: set[int] | None = None,
+        rng: np.random.Generator | int | None = None,
+        pad_id: int = 0,
+        kv_layout: str = "dense",
+        kv_dtype: str = "fp32",
+    ) -> list[np.ndarray]:
+        """Speculatively extend many prompts in one live batch.
+
+        Mirrors :meth:`DecoderLM.generate_batch` (same admission, same
+        capacity, same finish semantics); greedy outputs are token-identical
+        to it — only the number of target forwards differs.
+        """
+        arrays = [np.asarray(p, dtype=np.int64).ravel() for p in prompts]
+        if not arrays:
+            return []
+        if any(len(a) == 0 for a in arrays):
+            raise ValueError("generate_batch requires non-empty prompts")
+        max_len = max(len(a) for a in arrays)
+        max_position = self.model.config.max_position
+        if max_len > max_position:
+            raise ValueError(
+                f"longest prompt ({max_len}) exceeds the maximum context "
+                f"{max_position}"
+            )
+        rng = new_rng(rng) if temperature > 0 else None
+        capacity = min(max_len + max(max_new_tokens, 0), max_position)
+        batch = DecodeBatch(
+            self.model, capacity=capacity, kv_layout=kv_layout, kv_dtype=kv_dtype
+        )
+        states = [
+            DecodeState(
+                prompt_ids=a,
+                max_new_tokens=max_new_tokens,
+                temperature=temperature,
+                stop_ids=frozenset(stop_ids or ()),
+            )
+            for a in arrays
+        ]
+        batch.admit_many(states, pad_id=pad_id)
+        while batch.num_rows:
+            self.step(batch, rng)
+        return [st.output() for st in states]
+
+
+def _tempered_probs(log_probs: np.ndarray, temperature: float) -> np.ndarray:
+    """The target/drafter sampling distribution at ``temperature`` —
+    the same arithmetic as ``DecoderLM._sample_rows`` so speculative
+    sampling draws from exactly the plain sampler's distribution."""
+    scaled = log_probs / temperature
+    scaled = scaled - scaled.max()
+    probs = np.exp(scaled)
+    return probs / probs.sum()
+
+
+def _sample_cdf(probs: np.ndarray, rng: np.random.Generator) -> int:
+    """Inverse-CDF draw (the plain sampler's tie-breaking included)."""
+    cdf = np.cumsum(probs)
+    u = rng.random()
+    return int(min((cdf < u).sum(), len(probs) - 1))

@@ -248,7 +248,9 @@ class TestLockstepParity:
             has_rows = dense.batch_size > 0
             op = data.draw(
                 st.sampled_from(
-                    ["admit", "append", "retire", "compact"] if has_rows else ["admit"]
+                    ["admit", "append", "retire", "compact", "truncate_row"]
+                    if has_rows
+                    else ["admit"]
                 ),
                 label="op",
             )
@@ -293,11 +295,23 @@ class TestLockstepParity:
                 starts = [starts[int(i)] for i in keep]
             elif op == "compact":
                 widths = [dense.length - s for s in starts]
-                new_length = max(widths)
+                new_length = max(max(widths), 1)
                 new_starts_d = dense.realign(np.array(starts), new_length)
                 new_starts_p = paged.realign(np.array(starts), new_length)
                 np.testing.assert_array_equal(new_starts_d, new_starts_p)
                 starts = [int(s) for s in new_starts_d]
+            elif op == "truncate_row":
+                # The speculative-rollback primitive: one row drops its last
+                # `drop` positions, batchmates keep theirs (a drop equal to
+                # the row's width empties it, like normalising a 1-token
+                # prompt into the speculative invariant).
+                row = data.draw(st.integers(0, dense.batch_size - 1), label="row")
+                drop = data.draw(
+                    st.integers(0, dense.length - starts[row]), label="drop"
+                )
+                dense.truncate_row(row, dense.length - drop)
+                paged.truncate_row(row, dense.length - drop)
+                starts[row] += drop
             assert_live_spans_equal(dense, paged, starts)
 
         paged.release()
@@ -444,6 +458,60 @@ class TestBlockSharing:
         np.testing.assert_array_equal(blocks_k, ws_k)
         np.testing.assert_array_equal(blocks_v, ws_v)
         paged.release()
+        assert allocator.blocks_in_use == 0
+
+    @pytest.mark.parametrize("kv_dtype", ["fp32", "int8"])
+    @pytest.mark.parametrize("native", [False, True])
+    def test_midblock_rollback_then_append_claims_shared_tail_block(
+        self, kv_dtype, native
+    ):
+        """Regression (speculative rollback): rolling a row back *into* a
+        partially filled, CoW-shared tail block and then appending must not
+        write that block in place — ``truncate_row`` defers the re-claim to
+        the flush path, whose ``make_writable`` splits the block.  The donor
+        keeps every byte (including the rolled-back position) and ends up
+        sole owner of the original block."""
+        rng = np.random.default_rng(11)
+        width = 2 * BLOCK_SIZE + 2  # the third block is only partially filled
+        kv = random_kv(rng, 1, width)
+        allocator = BlockAllocator(
+            NUM_HEADS, HEAD_DIM, block_size=BLOCK_SIZE, kv_dtype=kv_dtype
+        )
+        donor = PagedKVCache(1, 1, allocator, CAPACITY, native=native)
+        for layer in donor.layers:
+            layer.append(kv, -kv)
+        donor.release_workspace()  # persist: three blocks, sole owner
+        donor_layer = donor.layers[0]
+        donor_k, donor_v = donor_layer.read_span(0, 0, width)
+        tail_block = donor_layer.tables[0][2]
+
+        clone = donor.clone_prefix(width, capacity=CAPACITY)
+        clone_layer = clone.layers[0]
+        assert clone_layer.tables[0][2] == tail_block
+        assert allocator.refcount(tail_block) == 2
+
+        # The rollback cut lands mid-block: the kept partial block stays
+        # shared (nothing is freed, nothing is written)...
+        clone.truncate_row(0, width - 1)
+        assert allocator.refcount(tail_block) == 2
+        extra = random_kv(rng, 1, 1)
+        for layer in clone.layers:
+            layer.append(extra, extra)
+        # ...so persisting the re-decoded position must claim it via the
+        # copy-on-write split instead of writing the shared bytes.
+        clone_layer.flush_row(0)
+        assert clone_layer.tables[0][2] != tail_block
+        assert allocator.refcount(tail_block) == 1
+        assert allocator.refcount(clone_layer.tables[0][2]) == 1
+        k_now, v_now = donor_layer.read_span(0, 0, width)
+        np.testing.assert_array_equal(k_now, donor_k)
+        np.testing.assert_array_equal(v_now, donor_v)
+        # The clone sees the kept prefix plus its own new position (its span
+        # shifted right by the dropped column: [1, width + 1)).
+        ck, _ = clone_layer.read_span(0, 1, width + 1)
+        np.testing.assert_array_equal(ck[:, : width - 1], donor_k[:, : width - 1])
+        clone.release()
+        donor.release()
         assert allocator.blocks_in_use == 0
 
     def test_pool_byte_budget_counts_shared_blocks_once(self, model):
