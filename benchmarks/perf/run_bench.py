@@ -27,6 +27,11 @@ Measures, for the decoder-LM stack that powers every ICL experiment
   vs. plain cached decode in the single-stream latency-bound regime (and,
   ungated, over a small decode batch), with accept rate and greedy
   token identity;
+* replica fleet — tokens/s of a data-parallel :class:`~repro.serving.
+  ReplicaFleet` at 1/2/4 workers vs a single engine at equal total traffic
+  on a multi-family prompt trace sized to overflow any one replica's prefix
+  pool, with prefix-affinity vs round-robin hit rates and greedy token
+  identity against the single engine;
 * ``ICLEngine.evaluate`` throughput (queries/sec) with a shared few-shot
   example block, prefix-cached batched scoring vs. the per-query loop;
 * pooled ICL serving — several engines sharing one LRU
@@ -51,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import sys
 import time
@@ -70,6 +76,7 @@ from repro.serving import (  # noqa: E402
     AsyncEngine,
     ContinuousBatchingEngine,
     PrefixCachePool,
+    ReplicaFleet,
     SpeculativeDecoder,
 )
 from repro.tensor import no_grad  # noqa: E402
@@ -814,13 +821,156 @@ def bench_icl_evaluate(
     }
 
 
-def run(smoke: bool, seed: int) -> dict:
+def _fleet_model(config_name: str, vocab_size: int, seed: int) -> DecoderLM:
+    """Picklable replica factory: deterministic weights from the seed, so
+    every fleet worker (and the single-engine reference) is bit-identical."""
+    model = DecoderLM(get_config(config_name), vocab_size, rng=seed)
+    model.eval()
+    return model
+
+
+def bench_fleet(
+    builder,
+    passes: list[list[np.ndarray]],
+    max_new_tokens: int,
+    *,
+    worker_counts: tuple[int, ...],
+    pool_entries: int,
+    affinity_tokens: int,
+    repeats: int,
+) -> dict:
+    """Data-parallel replica fleet vs. one engine at equal total traffic.
+
+    The trace is closed-loop: each pass visits every prompt family (long
+    shared head, short tail) once, and the next pass is submitted only after
+    the previous one drained — sustained repeat traffic, not one burst.
+    That is adversarial for a single per-replica-sized prefix pool, which
+    evicts every family before its next request returns.  The fleet's win on
+    a single core is *aggregate KV-pool capacity*: prefix-affinity routing
+    pins each family to one replica, whose pool then holds it resident, so
+    repeat passes prefill tails instead of heads.  Round-robin routing over
+    the same fleet is the control: same workers, same pools, no affinity —
+    its pool hit rate collapses back toward the single engine's.
+    """
+    pool_kwargs = {"max_entries": pool_entries}
+    engine_kwargs = {"max_batch_rows": 4}
+    prompts = [p for wave in passes for p in wave]
+
+    # Single-engine reference (one replica's resources) + token identity
+    # oracle.  Best-of-``repeats`` with a fresh engine + pool per repeat,
+    # like every other section: repeats measure the architecture, not pool
+    # warming, and the minimum damps single-core scheduler noise (the fleet
+    # arm runs num_workers+1 processes on this box).
+    reference: list[np.ndarray] = []
+    single_hit_rate = 0.0
+
+    def run_single() -> float:
+        single_model = builder()
+        pool = PrefixCachePool(single_model, **pool_kwargs)
+        engine = ContinuousBatchingEngine(
+            single_model, cache_pool=pool, **engine_kwargs
+        )
+        requests = []
+        start = time.perf_counter()
+        for wave in passes:
+            requests.extend(engine.submit(p, max_new_tokens) for p in wave)
+            engine.drain()
+        seconds = time.perf_counter() - start
+        reference[:] = [r.result for r in requests]
+        nonlocal single_hit_rate
+        single_hit_rate = pool.stats.hit_rate
+        return seconds
+
+    single_seconds = _best_of(run_single, repeats)
+    generated = sum(len(out) - len(p) for out, p in zip(reference, prompts))
+
+    def time_fleet(num_workers: int, routing: str) -> dict:
+        result: dict = {}
+
+        def run_fleet() -> float:
+            with ReplicaFleet(
+                builder,
+                num_workers,
+                routing=routing,
+                affinity_tokens=affinity_tokens,
+                engine_kwargs=engine_kwargs,
+                pool_kwargs=pool_kwargs,
+            ) as fleet:
+                handles = []
+                start = time.perf_counter()
+                for wave in passes:
+                    handles.extend(fleet.submit(p, max_new_tokens) for p in wave)
+                    fleet.drain()
+                seconds = time.perf_counter() - start
+                outputs = [h.result for h in handles]
+                stats = fleet.worker_stats()
+                hits = sum(w["pool"]["hits"] for w in stats)
+                misses = sum(w["pool"]["misses"] for w in stats)
+                result.update(
+                    pool_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+                    router=fleet.stats.as_dict(),
+                    tokens_match=bool(
+                        all(np.array_equal(a, b) for a, b in zip(reference, outputs))
+                    )
+                    and result.get("tokens_match", True),
+                )
+                return seconds
+
+        seconds = _best_of(run_fleet, repeats)
+        result.update(seconds=seconds, tokens_per_sec=generated / seconds)
+        return result
+
+    by_workers = {str(n): time_fleet(n, "affinity") for n in worker_counts}
+    round_robin = time_fleet(max(worker_counts), "round_robin")
+    top = by_workers[str(max(worker_counts))]
+    return {
+        "num_requests": len(prompts),
+        "num_passes": len(passes),
+        "generated_tokens": int(generated),
+        "max_new_tokens": int(max_new_tokens),
+        "pool_entries_per_replica": pool_entries,
+        "single": {
+            "seconds": single_seconds,
+            "tokens_per_sec": generated / single_seconds,
+            "pool_hit_rate": single_hit_rate,
+        },
+        "fleet": by_workers,
+        "round_robin": round_robin,
+        "speedup": top["tokens_per_sec"] / (generated / single_seconds),
+        "affinity_hit_rate": top["pool_hit_rate"],
+        "round_robin_hit_rate": round_robin["pool_hit_rate"],
+        "tokens_match": bool(
+            all(by_workers[str(n)]["tokens_match"] for n in worker_counts)
+            and round_robin["tokens_match"]
+        ),
+    }
+
+
+SECTION_NAMES = (
+    "generate",
+    "logits_equivalence",
+    "batched_generate",
+    "continuous_batching",
+    "concurrent_serving",
+    "paged_kv",
+    "chunked_prefill",
+    "speculative",
+    "fleet",
+    "icl_evaluate",
+    "pooled_icl",
+)
+
+
+def run(smoke: bool, seed: int, sections: set[str] | None = None) -> dict:
     scale = "smoke" if smoke else "full"
     num_traces = 2 if smoke else 4
     new_tokens = 56 if smoke else 240
     num_queries = 12 if smoke else 32
     num_examples = 4 if smoke else 8
     repeats = 2 if smoke else 3
+
+    def want(name: str) -> bool:
+        return sections is None or name in sections
 
     dataset = generate_dataset("1000genome", num_traces=num_traces, seed=seed)
     tokenizer = LogTokenizer.build_from_corpus(dataset.train.sentences())
@@ -834,14 +984,16 @@ def run(smoke: bool, seed: int) -> dict:
         "scale": scale,
         "model": model.config.name,
         "vocab_size": tokenizer.vocab_size,
-        "generate": bench_generate(model, prompt, new_tokens, repeats),
-        "logits_equivalence": bench_logits_equivalence(
+    }
+    if want("generate"):
+        results["generate"] = bench_generate(model, prompt, new_tokens, repeats)
+    if want("logits_equivalence"):
+        results["logits_equivalence"] = bench_logits_equivalence(
             model,
             tokenizer.encode_causal(" ".join(dataset.train.sentences()[:4]))[
                 : (64 if smoke else 200)
             ],
-        ),
-    }
+        )
 
     # Eight ragged prompts for the batched-vs-sequential decode comparison.
     sentences = dataset.train.sentences()
@@ -852,9 +1004,10 @@ def run(smoke: bool, seed: int) -> dict:
         ]
         for i in range(8)
     ]
-    results["batched_generate"] = bench_batched_generate(
-        model, batch_prompts, 24 if smoke else 64, repeats
-    )
+    if want("batched_generate"):
+        results["batched_generate"] = bench_batched_generate(
+            model, batch_prompts, 24 if smoke else 64, repeats
+        )
 
     # Staggered-arrival serving trace: same decode parameters everywhere,
     # generation lengths vary with the data (stop tokens), so iteration-level
@@ -873,25 +1026,27 @@ def run(smoke: bool, seed: int) -> dict:
             tokenizer.vocab_size, size=max(tokenizer.vocab_size // 12, 1), replace=False
         )
     )
-    results["continuous_batching"] = bench_continuous_batching(
-        model,
-        cb_prompts,
-        max_new_tokens=32 if smoke else 48,
-        stop_ids=stop_ids,
-        max_rows=6,
-        repeats=repeats,
-    )
+    if want("continuous_batching"):
+        results["continuous_batching"] = bench_continuous_batching(
+            model,
+            cb_prompts,
+            max_new_tokens=32 if smoke else 48,
+            stop_ids=stop_ids,
+            max_rows=6,
+            repeats=repeats,
+        )
 
     # The same staggered trace served end to end: 16 async clients with
     # Poisson-ish arrivals against the pre-collect-then-flush front door.
-    results["concurrent_serving"] = bench_concurrent_serving(
-        model,
-        cb_prompts,
-        max_new_tokens=32 if smoke else 48,
-        stop_ids=stop_ids,
-        max_rows=6,
-        repeats=repeats,
-    )
+    if want("concurrent_serving"):
+        results["concurrent_serving"] = bench_concurrent_serving(
+            model,
+            cb_prompts,
+            max_new_tokens=32 if smoke else 48,
+            stop_ids=stop_ids,
+            max_rows=6,
+            repeats=repeats,
+        )
 
     # Long-context paged-KV serving: staggered requests from several prompt
     # families (shared ~64-token template heads + per-request tails, the
@@ -908,16 +1063,17 @@ def run(smoke: bool, seed: int) -> dict:
             : int(length_rng.integers(12, 32))
         ]
         paged_prompts.append(np.concatenate([family_heads[i % num_families], tail]))
-    results["paged_kv"] = bench_paged_kv(
-        model,
-        family_heads,
-        paged_prompts,
-        max_new_tokens=16 if smoke else 24,
-        stop_ids=stop_ids,
-        max_rows=6,
-        pool_budget_bytes=1 << 20,
-        repeats=repeats,
-    )
+    if want("paged_kv"):
+        results["paged_kv"] = bench_paged_kv(
+            model,
+            family_heads,
+            paged_prompts,
+            max_new_tokens=16 if smoke else 24,
+            stop_ids=stop_ids,
+            max_rows=6,
+            pool_budget_bytes=1 << 20,
+            repeats=repeats,
+        )
 
     # Adversarial chunked-prefill trace: a burst of short prompts with a
     # long prompt in every 4th position, so atomic admission left-pads
@@ -937,16 +1093,17 @@ def run(smoke: bool, seed: int) -> dict:
                 : int(length_rng.integers(6, 18))
             ]
         chunked_prompts.append(ids)
-    results["chunked_prefill"] = bench_chunked_prefill(
-        model,
-        chunked_prompts,
-        long_every=long_every,
-        max_new_tokens=16 if smoke else 24,
-        stop_ids=stop_ids,
-        max_rows=6,
-        chunk_tokens=32,
-        repeats=repeats,
-    )
+    if want("chunked_prefill"):
+        results["chunked_prefill"] = bench_chunked_prefill(
+            model,
+            chunked_prompts,
+            long_every=long_every,
+            max_new_tokens=16 if smoke else 24,
+            stop_ids=stop_ids,
+            max_rows=6,
+            chunk_tokens=32,
+            repeats=repeats,
+        )
 
     # Speculative decoding needs a drafter that *agrees* with its target, so
     # this section (alone) pre-trains a registry pair on the bench corpus —
@@ -959,40 +1116,82 @@ def run(smoke: bool, seed: int) -> dict:
         ]
         for i in range(4)
     ]
-    results["speculative"] = bench_speculative(
-        tokenizer,
-        sentences[:200],
-        spec_prompt,
-        spec_batch_prompts,
-        new_tokens=64 if smoke else 192,
-        draft_k=6,
-        repeats=repeats,
-    )
+    if want("speculative"):
+        results["speculative"] = bench_speculative(
+            tokenizer,
+            sentences[:200],
+            spec_prompt,
+            spec_batch_prompts,
+            new_tokens=64 if smoke else 192,
+            draft_k=6,
+            repeats=repeats,
+        )
+
+    # Data-parallel fleet: several prompt families with long shared heads,
+    # visited round-robin over repeated passes — a single replica-sized
+    # prefix pool evicts each family before its next request arrives, while
+    # affinity routing keeps every family resident on its pinned replica.
+    if want("fleet"):
+        fleet_families = 6
+        fleet_passes = 4 if smoke else 12
+        # Long heads on the larger decoder config: the affinity win is the
+        # *skipped head prefill*, so the head must be real compute relative
+        # to the per-step fixed cost the extra worker processes add.
+        fleet_head_tokens = 320 if smoke else 448
+        fleet_heads = [
+            tokenizer.encode_causal(
+                " ".join(sentences[f * 6 : f * 6 + 12] or sentences)
+            )[:fleet_head_tokens]
+            for f in range(fleet_families)
+        ]
+        fleet_passes_trace = []
+        for p in range(fleet_passes):
+            wave = []
+            for f in range(fleet_families):
+                tail = tokenizer.encode_causal(
+                    sentences[(p * fleet_families + f * 5 + 1) % len(sentences)]
+                )[: int(length_rng.integers(4, 10))]
+                wave.append(np.concatenate([fleet_heads[f], tail]))
+            fleet_passes_trace.append(wave)
+        results["fleet"] = bench_fleet(
+            functools.partial(_fleet_model, "mistral-7b", tokenizer.vocab_size, seed),
+            fleet_passes_trace,
+            max_new_tokens=4 if smoke else 6,
+            worker_counts=(1, 2, 4),
+            # Four entries hold ~2 resident families (head + a couple of
+            # tail variants) per replica: the 4-worker fleet keeps all 6
+            # families warm in aggregate while any single replica thrashes.
+            pool_entries=4,
+            affinity_tokens=32,
+            repeats=repeats,
+        )
 
     engine_cached = ICLEngine(model, tokenizer)
     engine_uncached = ICLEngine(model, tokenizer, use_cache=False)
     test = dataset.test.subsample(num_queries, rng=seed)
     example_pool = dataset.train.records[:200]
     selector_factory = lambda: FewShotSelector(example_pool, mode="mixed", seed=seed)  # noqa: E731
-    results["icl_evaluate"] = bench_icl_evaluate(
-        engine_cached,
-        engine_uncached,
-        test.records,
-        test.labels(),
-        selector_factory,
-        num_examples,
-        repeats,
-    )
-    results["pooled_icl"] = bench_pooled_icl(
-        model,
-        tokenizer,
-        test.records,
-        test.labels(),
-        selector_factory,
-        num_examples,
-        3 if smoke else 4,
-        repeats,
-    )
+    if want("icl_evaluate"):
+        results["icl_evaluate"] = bench_icl_evaluate(
+            engine_cached,
+            engine_uncached,
+            test.records,
+            test.labels(),
+            selector_factory,
+            num_examples,
+            repeats,
+        )
+    if want("pooled_icl"):
+        results["pooled_icl"] = bench_pooled_icl(
+            model,
+            tokenizer,
+            test.records,
+            test.labels(),
+            selector_factory,
+            num_examples,
+            3 if smoke else 4,
+            repeats,
+        )
     return results
 
 
@@ -1006,6 +1205,13 @@ def main() -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--sections",
+        type=str,
+        default=None,
+        help="comma-separated subset of sections to run "
+        f"(default: all of {', '.join(SECTION_NAMES)})",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_inference.json",
@@ -1013,7 +1219,17 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    results = run(smoke=args.smoke, seed=args.seed)
+    sections = None
+    if args.sections is not None:
+        sections = {s.strip() for s in args.sections.split(",") if s.strip()}
+        unknown = sections - set(SECTION_NAMES)
+        if unknown:
+            parser.error(
+                f"unknown sections: {', '.join(sorted(unknown))} "
+                f"(choose from {', '.join(SECTION_NAMES)})"
+            )
+
+    results = run(smoke=args.smoke, seed=args.seed, sections=sections)
     results["targets"] = {
         "generate_speedup": 3.0,
         "batched_generate_speedup": 2.0,
@@ -1024,40 +1240,51 @@ def main() -> int:
         "paged_kv_speedup": 1.0,
         "chunked_prefill_speedup": 1.0,
         "speculative_speedup": 1.0,
+        "fleet_speedup": 2.5,
         "logits_rtol": 1e-5,
     }
     args.output.write_text(json.dumps(results, indent=2) + "\n")
 
-    gen, icl, eq = results["generate"], results["icl_evaluate"], results["logits_equivalence"]
-    batched, pooled = results["batched_generate"], results["pooled_icl"]
-    continuous = results["continuous_batching"]
-    concurrent = results["concurrent_serving"]
-    paged = results["paged_kv"]
-    chunked = results["chunked_prefill"]
-    speculative = results["speculative"]
-    print(f"[{results['scale']}] generate: {gen['cached_tokens_per_sec']:.1f} tok/s cached "
-          f"vs {gen['uncached_tokens_per_sec']:.1f} tok/s uncached "
-          f"({gen['speedup']:.2f}x, tokens_match={gen['tokens_match']})")
-    print(f"[{results['scale']}] batched_generate: {batched['batched_tokens_per_sec']:.1f} tok/s "
-          f"batched (batch {batched['batch_size']}) vs "
-          f"{batched['sequential_tokens_per_sec']:.1f} tok/s sequential "
-          f"({batched['speedup']:.2f}x, tokens_match={batched['tokens_match']}, "
-          f"prefill_allclose={batched['prefill_logits_allclose']})")
-    print(f"[{results['scale']}] continuous_batching: "
+    gen, icl, eq = (
+        results.get("generate"),
+        results.get("icl_evaluate"),
+        results.get("logits_equivalence"),
+    )
+    batched, pooled = results.get("batched_generate"), results.get("pooled_icl")
+    continuous = results.get("continuous_batching")
+    concurrent = results.get("concurrent_serving")
+    paged = results.get("paged_kv")
+    chunked = results.get("chunked_prefill")
+    speculative = results.get("speculative")
+    fleet = results.get("fleet")
+    if gen:
+        print(f"[{results['scale']}] generate: {gen['cached_tokens_per_sec']:.1f} tok/s cached "
+              f"vs {gen['uncached_tokens_per_sec']:.1f} tok/s uncached "
+              f"({gen['speedup']:.2f}x, tokens_match={gen['tokens_match']})")
+    if batched:
+        print(f"[{results['scale']}] batched_generate: {batched['batched_tokens_per_sec']:.1f} tok/s "
+              f"batched (batch {batched['batch_size']}) vs "
+              f"{batched['sequential_tokens_per_sec']:.1f} tok/s sequential "
+              f"({batched['speedup']:.2f}x, tokens_match={batched['tokens_match']}, "
+              f"prefill_allclose={batched['prefill_logits_allclose']})")
+    if continuous:
+        print(f"[{results['scale']}] continuous_batching: "
           f"{continuous['engine_tokens_per_sec']:.1f} tok/s engine "
           f"({continuous['num_requests']} staggered requests, "
           f"{continuous['mean_rows_per_step']:.2f} mean rows/step) vs "
           f"{continuous['flush_bounded_tokens_per_sec']:.1f} tok/s flush-bounded "
           f"({continuous['speedup']:.2f}x, "
           f"tokens_match={continuous['tokens_match_engine_vs_sequential']})")
-    print(f"[{results['scale']}] concurrent_serving: "
+    if concurrent:
+        print(f"[{results['scale']}] concurrent_serving: "
           f"{concurrent['async_tokens_per_sec']:.1f} tok/s async engine "
           f"({concurrent['num_clients']} staggered clients, "
           f"ttft {concurrent['mean_ttft_seconds'] * 1000:.0f}ms) vs "
           f"{concurrent['sync_flush_tokens_per_sec']:.1f} tok/s sync flush "
           f"({concurrent['speedup']:.2f}x, "
           f"tokens_match={concurrent['tokens_match_async_vs_sequential']})")
-    print(f"[{results['scale']}] paged_kv: {paged['paged_tokens_per_sec']:.1f} tok/s paged "
+    if paged:
+        print(f"[{results['scale']}] paged_kv: {paged['paged_tokens_per_sec']:.1f} tok/s paged "
           f"vs {paged['dense_tokens_per_sec']:.1f} tok/s dense at a "
           f"{paged['pool_budget_bytes'] // 1024}KB pool budget "
           f"({paged['speedup']:.2f}x, int8 {paged['int8_speedup']:.2f}x, "
@@ -1068,7 +1295,8 @@ def main() -> int:
           f"{paged['peak_kv_bytes']['dense'] // 1024}KB dense, "
           f"tokens_match={paged['tokens_match_paged_vs_dense']}/"
           f"{paged['tokens_match_int8_vs_dense']})")
-    print(f"[{results['scale']}] chunked_prefill: p99 short-request ttft "
+    if chunked:
+        print(f"[{results['scale']}] chunked_prefill: p99 short-request ttft "
           f"{chunked['chunked']['p99_short_ttft_seconds'] * 1000:.0f}ms chunked "
           f"(budget {chunked['chunk_tokens']} tok/step) vs "
           f"{chunked['atomic']['p99_short_ttft_seconds'] * 1000:.0f}ms atomic "
@@ -1078,7 +1306,8 @@ def main() -> int:
           f"{chunked['atomic_tokens_per_sec']:.1f} tok/s, "
           f"ratio {chunked['decode_throughput_ratio']:.2f}, "
           f"tokens_match={chunked['tokens_match']})")
-    print(f"[{results['scale']}] speculative: "
+    if speculative:
+        print(f"[{results['scale']}] speculative: "
           f"{speculative['speculative_tokens_per_sec']:.1f} tok/s draft-verify "
           f"(k={speculative['draft_k']}, accept rate "
           f"{speculative['accept_rate']:.2f}) vs "
@@ -1087,101 +1316,113 @@ def main() -> int:
           f"{speculative['batched_speedup']:.2f}x at "
           f"{speculative['batch_size']} rows, "
           f"tokens_match={speculative['tokens_match']})")
-    print(f"[{results['scale']}] icl_evaluate: {icl['cached_queries_per_sec']:.1f} q/s cached "
+    if fleet:
+        top = max(int(n) for n in fleet["fleet"])
+        print(f"[{results['scale']}] fleet: "
+          f"{fleet['fleet'][str(top)]['tokens_per_sec']:.1f} tok/s at {top} workers "
+          f"vs {fleet['single']['tokens_per_sec']:.1f} tok/s single engine "
+          f"({fleet['speedup']:.2f}x at equal total traffic; affinity hit rate "
+          f"{fleet['affinity_hit_rate']:.2f} vs round-robin "
+          f"{fleet['round_robin_hit_rate']:.2f}, "
+          f"tokens_match={fleet['tokens_match']})")
+    if icl:
+        print(f"[{results['scale']}] icl_evaluate: {icl['cached_queries_per_sec']:.1f} q/s cached "
           f"vs {icl['uncached_queries_per_sec']:.1f} q/s uncached "
           f"({icl['speedup']:.2f}x, labels_match={icl['labels_match']})")
-    print(f"[{results['scale']}] pooled_icl: {pooled['pooled_queries_per_sec']:.1f} q/s shared pool "
+    if pooled:
+        print(f"[{results['scale']}] pooled_icl: {pooled['pooled_queries_per_sec']:.1f} q/s shared pool "
           f"vs {pooled['private_queries_per_sec']:.1f} q/s private "
           f"({pooled['speedup']:.2f}x, hit_rate={pooled['pool_stats']['hit_rate']:.2f}, "
           f"accuracies_match={pooled['accuracies_match']})")
-    print(f"[{results['scale']}] logits max_abs_diff={eq['max_abs_diff']:.2e} "
+    if eq:
+        print(f"[{results['scale']}] logits max_abs_diff={eq['max_abs_diff']:.2e} "
           f"allclose={eq['allclose']}")
     print(f"report written to {args.output}")
 
     if args.check:
         failures = []
-        if gen["speedup"] < 1.0:
+        if gen and gen["speedup"] < 1.0:
             failures.append("cached generate is slower than uncached")
-        if batched["speedup"] < 1.5:
+        if batched and batched["speedup"] < 1.5:
             failures.append("batched generate is under 1.5x sequential (floor is 2x at full scale)")
-        if icl["speedup"] < 1.0:
+        if icl and icl["speedup"] < 1.0:
             failures.append("cached ICL evaluate is slower than uncached")
         # Wide margin: the pooled advantage on this sub-second workload is
         # small (~1.1x), so only a gross regression — not runner noise —
         # should fail CI.  accuracies_match is the strict semantic signal.
-        if pooled["speedup"] < 0.75:
+        if pooled and pooled["speedup"] < 0.75:
             failures.append("pooled ICL serving is much slower than private caches")
-        if not gen["tokens_match"]:
+        if gen and not gen["tokens_match"]:
             failures.append("cached generate produced different tokens")
-        if not batched["tokens_match"]:
+        if batched and not batched["tokens_match"]:
             failures.append("batched generate produced different tokens than sequential")
         # Floor is 1.3x at full scale; the smoke gate trips at 1.15x to
         # absorb shared-runner noise on a sub-second workload.
-        if continuous["speedup"] < 1.15:
+        if continuous and continuous["speedup"] < 1.15:
             failures.append(
                 "continuous batching engine is under 1.15x the flush-bounded "
                 "scheduler (floor is 1.3x at full scale)"
             )
-        if not continuous["tokens_match_engine_vs_sequential"]:
+        if continuous and not continuous["tokens_match_engine_vs_sequential"]:
             failures.append("continuous batching engine produced different tokens than sequential")
-        if not continuous["tokens_match_flush_vs_sequential"]:
+        if continuous and not continuous["tokens_match_flush_vs_sequential"]:
             failures.append("flush-bounded baseline produced different tokens than sequential")
         # Floor is 1.2x at full scale; the smoke gate trips at 1.1x to
         # absorb shared-runner noise (the arrival ramp is real wall-clock).
-        if concurrent["speedup"] < 1.1:
+        if concurrent and concurrent["speedup"] < 1.1:
             failures.append(
                 "async concurrent serving is under 1.1x the sync flush "
                 "front door (floor is 1.2x at full scale)"
             )
-        if not concurrent["tokens_match_async_vs_sequential"]:
+        if concurrent and not concurrent["tokens_match_async_vs_sequential"]:
             failures.append("async engine produced different tokens than sequential")
-        if not concurrent["tokens_match_flush_vs_sequential"]:
+        if concurrent and not concurrent["tokens_match_flush_vs_sequential"]:
             failures.append("sync flush front door produced different tokens than sequential")
         # Floor is 1.0x at full scale (the paged layout must never cost
         # throughput); the smoke gate trips at 0.9x to absorb runner noise
         # on a sub-second workload.
-        if paged["speedup"] < 0.9:
+        if paged and paged["speedup"] < 0.9:
             failures.append(
                 "paged-KV serving is under 0.9x the dense layout at an equal "
                 "pool budget (floor is 1.0x at full scale)"
             )
-        if not paged["tokens_match_paged_vs_dense"]:
+        if paged and not paged["tokens_match_paged_vs_dense"]:
             failures.append("paged engine produced different tokens than dense")
-        if not paged["tokens_match_int8_vs_dense"]:
+        if paged and not paged["tokens_match_int8_vs_dense"]:
             failures.append("int8-paged engine produced different tokens than dense")
-        if paged["peak_kv_bytes"]["paged"] >= paged["peak_kv_bytes"]["dense"]:
+        if paged and paged["peak_kv_bytes"]["paged"] >= paged["peak_kv_bytes"]["dense"]:
             failures.append(
                 "paged KV does not lower the resident-bytes high-water mark "
                 "at equal pool capability"
             )
-        if paged["budget_hit_rate_paged"] <= paged["budget_hit_rate_dense"]:
+        if paged and paged["budget_hit_rate_paged"] <= paged["budget_hit_rate_dense"]:
             failures.append(
                 "byte-budgeted paged pool does not out-hit the dense pool"
             )
         # Floor is 1.0x at full scale (bounded chunks must not cost tail
         # first-token latency on the adversarial trace); the smoke gate
         # trips at 0.9x to absorb runner noise on sub-second TTFTs.
-        if chunked["speedup"] < 0.9:
+        if chunked and chunked["speedup"] < 0.9:
             failures.append(
                 "chunked prefill's p99 short-request TTFT is over 1.11x the "
                 "atomic path's (floor is 1.0x at full scale)"
             )
         # Piggybacked chunks trade a little end-to-end throughput for
         # bounded steps; cap the toll at ~30% on the smoke workload.
-        if chunked["decode_throughput_ratio"] < 0.7:
+        if chunked and chunked["decode_throughput_ratio"] < 0.7:
             failures.append(
                 "chunked prefill costs more than 30% end-to-end decode "
                 "throughput on the adversarial trace"
             )
-        if not chunked["tokens_match"]:
+        if chunked and not chunked["tokens_match"]:
             failures.append("chunked prefill produced different tokens than atomic admission")
-        if chunked["max_step_prefill_tokens"] > chunked["chunk_tokens"]:
+        if chunked and chunked["max_step_prefill_tokens"] > chunked["chunk_tokens"]:
             failures.append("a step exceeded the prefill chunk budget")
         # Floor is 1.0x at full scale (single-stream speculation must never
         # cost throughput when the drafter agrees with the target); the
         # smoke gate trips at 0.95x to absorb runner noise on a sub-second
         # workload.
-        if speculative["speedup"] < 0.95:
+        if speculative and speculative["speedup"] < 0.95:
             failures.append(
                 "single-stream speculative decoding is under 0.95x plain "
                 "cached decode (floor is 1.0x at full scale)"
@@ -1189,26 +1430,44 @@ def main() -> int:
         # A registry-pretrained drafter/target pair agrees almost always;
         # a collapsed accept rate means the verify or rollback path broke
         # even if the (drafter-independent) output identity still holds.
-        if speculative["accept_rate"] < 0.5:
+        if speculative and speculative["accept_rate"] < 0.5:
             failures.append(
                 "speculative accept rate collapsed below 0.5 for the "
                 "registry drafter/target pair"
             )
-        if not speculative["tokens_match"]:
+        if speculative and not speculative["tokens_match"]:
             failures.append("speculative decoding produced different tokens than plain cached")
-        if not speculative["tokens_match_batched"]:
+        if speculative and not speculative["tokens_match_batched"]:
             failures.append(
                 "batched speculative decoding produced different tokens than plain cached"
             )
-        if not continuous["tokens_match_cached_vs_uncached"]:
+        # Floor is 2.5x at full scale: the 4-replica fleet's win is
+        # aggregate pool capacity (every prompt family stays resident
+        # somewhere) rather than cores, so it survives a single-core
+        # runner — but the smoke trace is short enough that process
+        # round-trip overhead eats part of it, so the smoke gate trips
+        # at 1.5x.
+        if fleet and fleet["speedup"] < 1.5:
+            failures.append(
+                "4-worker fleet is under 1.5x the single engine at equal "
+                "total traffic (floor is 2.5x at full scale)"
+            )
+        if fleet and fleet["affinity_hit_rate"] <= fleet["round_robin_hit_rate"]:
+            failures.append(
+                "prefix-affinity routing does not out-hit round-robin on "
+                "the multi-family trace"
+            )
+        if fleet and not fleet["tokens_match"]:
+            failures.append("fleet produced different tokens than the single engine")
+        if continuous and not continuous["tokens_match_cached_vs_uncached"]:
             failures.append("cached and uncached stop-token generations diverge")
-        if not batched["prefill_logits_allclose"]:
+        if batched and not batched["prefill_logits_allclose"]:
             failures.append("left-padded batched prefill logits diverge from the uncached forward")
-        if not icl["labels_match"]:
+        if icl and not icl["labels_match"]:
             failures.append("cached ICL scoring produced different labels")
-        if not pooled["accuracies_match"]:
+        if pooled and not pooled["accuracies_match"]:
             failures.append("pooled ICL serving changed evaluation results")
-        if not eq["allclose"]:
+        if eq and not eq["allclose"]:
             failures.append("cached and uncached logits diverge beyond tolerance")
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)

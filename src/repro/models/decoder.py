@@ -351,13 +351,21 @@ class DecodeBatch:
             # live row holds its own, mostly shared, references).
             prefill_cache.release()
 
-    def admit_many(self, states: Sequence[DecodeState], pad_id: int = 0) -> None:
+    def admit_many(
+        self, states: Sequence[DecodeState], pad_id: int = 0, row_sink=None
+    ) -> None:
         """Prefill several requests as one left-padded batch, then admit each.
 
         This is the batch-formation path :meth:`DecoderLM.generate_batch`
         uses (and the engine's deadline-closed admission groups): one padded
         forward prefills every startable newcomer, after which each row is
         spliced into the live batch exactly like a single admission.
+
+        ``row_sink(state, cache)``, when given, receives a private batch-1
+        copy of each admitted row's full-prompt prefill — the hook the
+        engine uses to check batched cold prefills into its prefix pool,
+        which the single-request admission path seeds for free but a shared
+        staging forward otherwise could not.
         """
         for state in states:
             if state.admitted:
@@ -388,6 +396,10 @@ class DecodeBatch:
             self._admit_prefilled_row(
                 st, staging, i, max_len - int(lengths[i]), log_probs[i]
             )
+            if row_sink is not None:
+                clone = self._make_cache(0, self.capacity)
+                clone.admit_row(staging, i, max_len - int(lengths[i]))
+                row_sink(st, clone)
         if hasattr(staging, "release"):
             staging.release()
 

@@ -11,6 +11,7 @@ the real hub.
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -23,11 +24,65 @@ from repro.tokenization.tokenizer import LogTokenizer
 from repro.utils.rng import new_rng
 
 __all__ = [
+    "DecoderBuilder",
     "ModelRegistry",
+    "RegistrySpec",
     "default_registry",
     "build_default_corpus",
     "build_instruction_corpus",
 ]
+
+
+@dataclass(frozen=True, eq=False)
+class RegistrySpec:
+    """Picklable recipe that rebuilds an identical registry in another process.
+
+    The fleet's engine workers each own a private model, rebuilt inside the
+    worker process rather than shipped over the pipe: the spec carries only
+    the registry's *inputs* (tokenizer, corpora, pre-training knobs), and
+    every derived quantity is deterministic — per-model seeds come from a
+    crc32 digest, model init and pre-training draw from seeded generators —
+    so N workers building ``"gpt2"`` from the same spec hold bit-identical
+    weights, and fleet outputs can be compared token-for-token against a
+    single in-process engine built from the same spec.
+    """
+
+    tokenizer: LogTokenizer
+    corpus: tuple[str, ...]
+    instruction_corpus: tuple[str, ...]
+    pretrain_steps: int
+    seed: int
+
+    def build(self) -> "ModelRegistry":
+        """Materialise the registry (models pre-train lazily on first load)."""
+        return ModelRegistry(
+            self.tokenizer,
+            list(self.corpus),
+            instruction_corpus=list(self.instruction_corpus),
+            pretrain_steps=self.pretrain_steps,
+            seed=self.seed,
+        )
+
+    def decoder_builder(self, name: str, pretrained: bool = True) -> "DecoderBuilder":
+        """A picklable zero-arg callable producing the named decoder in eval
+        mode — the shape fleet workers expect their model factory in."""
+        if get_config(name).kind != "decoder":
+            raise ValueError(f"{name!r} is not a decoder checkpoint")
+        return DecoderBuilder(spec=self, name=name, pretrained=pretrained)
+
+
+@dataclass(frozen=True, eq=False)
+class DecoderBuilder:
+    """Deterministic decoder factory (see :meth:`RegistrySpec.decoder_builder`)."""
+
+    spec: RegistrySpec
+    name: str
+    pretrained: bool = True
+
+    def __call__(self) -> DecoderLM:
+        model = self.spec.build().load_decoder(self.name, self.pretrained)
+        model.eval()
+        return model
 
 
 def build_default_corpus(
@@ -187,6 +242,16 @@ class ModelRegistry:
         if get_config(name).kind != "decoder":
             raise ValueError(f"{name!r} is not a decoder checkpoint")
         return self.load(name, pretrained)
+
+    def spec(self) -> RegistrySpec:
+        """The picklable rebuild recipe for this registry (fleet workers)."""
+        return RegistrySpec(
+            tokenizer=self.tokenizer,
+            corpus=tuple(self.corpus),
+            instruction_corpus=tuple(self.instruction_corpus),
+            pretrain_steps=self.pretrain_steps,
+            seed=self.seed,
+        )
 
     def is_cached(self, name: str) -> bool:
         return get_config(name).name in self._cache

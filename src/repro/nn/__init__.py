@@ -12,6 +12,9 @@ from repro.nn.module import Module, Parameter, ModuleList, Sequential
 from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout, GELU, ReLU, Tanh
 from repro.nn.attention import KVCache, LayerKVCache, MultiHeadAttention
 from repro.nn.paged import BlockAllocator, PagedKVCache, PagedLayerKVCache
+from repro.nn.serialization import pack as pack_kv_checkpoint
+from repro.nn.serialization import peek_kind as peek_kv_checkpoint_kind
+from repro.nn.serialization import unpack as unpack_kv_checkpoint
 from repro.nn.transformer import (
     FeedForward,
     TransformerEncoderLayer,
@@ -39,6 +42,9 @@ __all__ = [
     "BlockAllocator",
     "PagedKVCache",
     "PagedLayerKVCache",
+    "pack_kv_checkpoint",
+    "peek_kv_checkpoint_kind",
+    "unpack_kv_checkpoint",
     "FeedForward",
     "TransformerEncoderLayer",
     "TransformerDecoderLayer",

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
+from repro.nn.serialization import pack, unpack
 from repro.tensor import Tensor, functional as F
 from repro.utils.rng import new_rng, spawn_rngs
 
@@ -393,6 +394,79 @@ class KVCache:
         mark of a serving trace.
         """
         return sum(layer.keys.nbytes + layer.values.nbytes for layer in self.layers)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint-to-bytes (fleet migration, pool warm-start)
+    # ------------------------------------------------------------------ #
+    def serialize(self) -> bytes:
+        """Snapshot the filled region to bytes (see :mod:`repro.nn.serialization`).
+
+        Only the live rows' filled columns ship — slack rows and unused
+        capacity are a property of the donor's allocation, not of the KV
+        state, so a restored cache re-exports to the identical bytes
+        whatever capacity it was given.
+        """
+        heads = self.layers[0].num_heads if self.layers else 0
+        head_dim = self.layers[0].head_dim if self.layers else 0
+        length = self.length
+        arrays: list[np.ndarray] = []
+        for layer in self.layers:
+            arrays.append(np.ascontiguousarray(layer.keys[: layer.rows, :, :length]))
+            arrays.append(np.ascontiguousarray(layer.values[: layer.rows, :, :length]))
+        header = {
+            "kind": "kv-dense",
+            "layers": len(self.layers),
+            "batch": self.batch_size,
+            "heads": heads,
+            "head_dim": head_dim,
+            "length": length,
+        }
+        return pack(header, arrays)
+
+    @classmethod
+    def deserialize(cls, data: bytes, capacity: int | None = None) -> "KVCache":
+        """Rebuild a cache from :meth:`serialize` bytes.
+
+        ``capacity`` sizes the restored buffers (defaults to the snapshot
+        length); it must hold the snapshot.  Malformed input raises a clear
+        ``ValueError``.
+        """
+        header, arrays = unpack(data)
+        if header.get("kind") != "kv-dense":
+            raise ValueError(
+                f"corrupt KV checkpoint: expected kind 'kv-dense', got "
+                f"{header.get('kind')!r}"
+            )
+        try:
+            num_layers = int(header["layers"])
+            batch = int(header["batch"])
+            heads = int(header["heads"])
+            head_dim = int(header["head_dim"])
+            length = int(header["length"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError("corrupt KV checkpoint: malformed dense header") from exc
+        if len(arrays) != 2 * num_layers:
+            raise ValueError(
+                f"corrupt KV checkpoint: header declares {num_layers} layers "
+                f"but payload holds {len(arrays)} arrays"
+            )
+        expected = (batch, heads, length, head_dim)
+        for arr in arrays:
+            if arr.shape != expected or arr.dtype != np.float32:
+                raise ValueError(
+                    f"corrupt KV checkpoint: array shape {arr.shape} "
+                    f"({arr.dtype}) does not match header geometry {expected}"
+                )
+        if capacity is not None and capacity < length:
+            raise ValueError(
+                f"restore capacity {capacity} cannot hold the {length}-position snapshot"
+            )
+        out = cls(num_layers, batch, heads, head_dim, max(capacity or length, 1))
+        for i, layer in enumerate(out.layers):
+            layer.keys[:, :, :length] = arrays[2 * i]
+            layer.values[:, :, :length] = arrays[2 * i + 1]
+            layer.length = length
+        return out
 
 
 def fuse_qkv_linears(q: Linear, k: Linear, v: Linear) -> Linear:

@@ -82,6 +82,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.serialization import pack, unpack
+
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "BlockAllocator",
@@ -448,6 +450,102 @@ class BlockAllocator:
         self.gather_row(table[first:last], span, tmp_k, tmp_v, 0)
         offset = pos_start - first * bs
         return tmp_k[:, offset:], tmp_v[:, offset:]
+
+    # ------------------------------------------------------------------ #
+    # raw block export/import (KV serialization)
+    # ------------------------------------------------------------------ #
+    def export_table(
+        self, table: Sequence[int], width: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Verbatim stored content of a row's first ``width`` positions.
+
+        Returns ``(keys, values, key_scales, value_scales)`` in the *storage*
+        dtype — raw int8 codes plus their float32 scales for int8 stores
+        (scales are ``None`` for fp32).  Unlike :meth:`gather_row` nothing is
+        dequantized: this is the serialization read, and shipping the codes
+        and scales untouched is what makes a restored entry bit-identical to
+        the donor's persisted state.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        needed = (width + self.block_size - 1) // self.block_size
+        if needed > len(table):
+            raise ValueError(
+                f"width {width} needs {needed} blocks but the table holds {len(table)}"
+            )
+        table = list(table[:needed])
+        heads, hd = self.num_heads, self.head_dim
+        with self._lock:
+            k = self._keys[:, table].reshape(heads, -1, hd)[:, :width].copy()
+            v = self._values[:, table].reshape(heads, -1, hd)[:, :width].copy()
+            if self.kv_dtype == "fp32":
+                return k, v, None, None
+            sk = self._key_scales[:, table].reshape(heads, -1)[:, :width].copy()
+            sv = self._value_scales[:, table].reshape(heads, -1)[:, :width].copy()
+            return k, v, sk, sv
+
+    def import_table(
+        self,
+        k: np.ndarray,
+        v: np.ndarray,
+        key_scales: np.ndarray | None = None,
+        value_scales: np.ndarray | None = None,
+    ) -> list[int]:
+        """Store raw exported content into freshly allocated exclusive blocks.
+
+        The inverse of :meth:`export_table`: the inputs are placed verbatim
+        (no quantization — int8 codes and scales land exactly as shipped),
+        so export -> import -> export reproduces identical bytes.  Returns
+        the new block table, each block at ref-count 1 and owned by the
+        caller.
+        """
+        k = np.asarray(k)
+        v = np.asarray(v)
+        store = self._keys.dtype
+        expected_tail = (self.head_dim,)
+        if (
+            k.shape != v.shape
+            or k.ndim != 3
+            or k.shape[0] != self.num_heads
+            or k.shape[2:] != expected_tail
+        ):
+            raise ValueError(
+                f"imported content must be (heads={self.num_heads}, width, "
+                f"head_dim={self.head_dim}); got {k.shape} and {v.shape}"
+            )
+        if k.dtype != store or v.dtype != store:
+            raise ValueError(
+                f"imported content dtype {k.dtype}/{v.dtype} does not match "
+                f"the {self.kv_dtype} store ({store})"
+            )
+        width = k.shape[1]
+        if self.kv_dtype == "int8":
+            if key_scales is None or value_scales is None:
+                raise ValueError("int8 import requires key and value scales")
+            key_scales = np.asarray(key_scales, dtype=np.float32)
+            value_scales = np.asarray(value_scales, dtype=np.float32)
+            if key_scales.shape != (self.num_heads, width) or value_scales.shape != (
+                self.num_heads,
+                width,
+            ):
+                raise ValueError(
+                    f"scales must be (heads={self.num_heads}, width={width}); "
+                    f"got {key_scales.shape} and {value_scales.shape}"
+                )
+        elif key_scales is not None or value_scales is not None:
+            raise ValueError("fp32 import takes no scales")
+        bs = self.block_size
+        table = [self.alloc() for _ in range((width + bs - 1) // bs)]
+        with self._lock:
+            for i, block in enumerate(table):
+                lo = i * bs
+                n = min(bs, width - lo)
+                self._keys[:, block, :n] = k[:, lo : lo + n]
+                self._values[:, block, :n] = v[:, lo : lo + n]
+                if self.kv_dtype == "int8":
+                    self._key_scales[:, block, :n] = key_scales[:, lo : lo + n]
+                    self._value_scales[:, block, :n] = value_scales[:, lo : lo + n]
+        return table
 
 
 class PagedLayerKVCache:
@@ -1031,6 +1129,141 @@ class PagedKVCache:
             ids.update(layer.block_ids())
             workspace += layer.workspace_bytes()
         return len(ids) * self.allocator.block_bytes + workspace
+
+    # ------------------------------------------------------------------ #
+    # checkpoint-to-bytes (fleet migration, pool warm-start)
+    # ------------------------------------------------------------------ #
+    def serialize(self) -> bytes:
+        """Snapshot every row's persisted content to bytes.
+
+        Rows are flushed first (a no-op for pooled entries at rest, whose
+        check-in already persisted them), then each row's blocks are read
+        *verbatim* via :meth:`BlockAllocator.export_table` — int8 stores
+        ship their quantized codes and scales untouched, so a restored
+        cache's block bytes are bit-identical to the donor's and re-export
+        reproduces the exact same checkpoint.
+        """
+        widths: list[list[int]] = []
+        arrays: list[np.ndarray] = []
+        for layer in self.layers:
+            for row in range(layer.batch_size):
+                layer.flush_row(row)
+            widths.append([int(w) for w in layer.widths])
+            for row in range(layer.batch_size):
+                k, v, sk, sv = self.allocator.export_table(
+                    layer.tables[row], layer.widths[row]
+                )
+                arrays.append(k)
+                arrays.append(v)
+                if sk is not None:
+                    arrays.append(sk)
+                    arrays.append(sv)
+        header = {
+            "kind": "kv-paged",
+            "layers": len(self.layers),
+            "batch": self.batch_size,
+            "heads": self.allocator.num_heads,
+            "head_dim": self.allocator.head_dim,
+            "block_size": self.allocator.block_size,
+            "kv_dtype": self.allocator.kv_dtype,
+            "length": self.length,
+            "widths": widths,
+        }
+        return pack(header, arrays)
+
+    @classmethod
+    def deserialize(
+        cls,
+        data: bytes,
+        allocator: BlockAllocator,
+        capacity: int | None = None,
+        native: bool = False,
+    ) -> "PagedKVCache":
+        """Rebuild a cache from :meth:`serialize` bytes onto ``allocator``.
+
+        The allocator must match the snapshot's geometry, block size and
+        kv-dtype (a mismatched restore target raises a clear ``ValueError``
+        — re-quantizing would silently break the bit-identity contract).
+        Content lands in freshly allocated exclusive blocks via
+        :meth:`BlockAllocator.import_table`; every restored row is fully
+        flushed.  Shape validation runs before any allocation, so a corrupt
+        checkpoint leaks no blocks.
+        """
+        header, arrays = unpack(data)
+        if header.get("kind") != "kv-paged":
+            raise ValueError(
+                f"corrupt KV checkpoint: expected kind 'kv-paged', got "
+                f"{header.get('kind')!r}"
+            )
+        try:
+            num_layers = int(header["layers"])
+            batch = int(header["batch"])
+            heads = int(header["heads"])
+            head_dim = int(header["head_dim"])
+            block_size = int(header["block_size"])
+            kv_dtype = str(header["kv_dtype"])
+            length = int(header["length"])
+            widths = [[int(w) for w in row] for row in header["widths"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError("corrupt KV checkpoint: malformed paged header") from exc
+        if (
+            allocator.num_heads != heads
+            or allocator.head_dim != head_dim
+            or allocator.block_size != block_size
+            or allocator.kv_dtype != kv_dtype
+        ):
+            raise ValueError(
+                f"checkpoint geometry (heads={heads}, head_dim={head_dim}, "
+                f"block_size={block_size}, kv_dtype={kv_dtype!r}) does not match "
+                f"the restore allocator (heads={allocator.num_heads}, "
+                f"head_dim={allocator.head_dim}, block_size={allocator.block_size}, "
+                f"kv_dtype={allocator.kv_dtype!r})"
+            )
+        if len(widths) != num_layers or any(len(row) != batch for row in widths):
+            raise ValueError("corrupt KV checkpoint: widths do not match geometry")
+        if any(not 0 <= w <= length for row in widths for w in row):
+            raise ValueError("corrupt KV checkpoint: row width outside [0, length]")
+        per_row = 4 if kv_dtype == "int8" else 2
+        if len(arrays) != per_row * num_layers * batch:
+            raise ValueError(
+                f"corrupt KV checkpoint: expected {per_row * num_layers * batch} "
+                f"arrays, got {len(arrays)}"
+            )
+        # Validate every array's shape before allocating a single block, so
+        # a corrupt checkpoint cannot leak partially imported storage.
+        store = np.dtype(np.float32 if kv_dtype == "fp32" else np.int8)
+        index = 0
+        for layer_widths in widths:
+            for width in layer_widths:
+                group = arrays[index : index + per_row]
+                index += per_row
+                for arr in group[:2]:
+                    if arr.shape != (heads, width, head_dim) or arr.dtype != store:
+                        raise ValueError(
+                            f"corrupt KV checkpoint: content shape {arr.shape} "
+                            f"({arr.dtype}) does not match row width {width}"
+                        )
+                for arr in group[2:]:
+                    if arr.shape != (heads, width) or arr.dtype != np.float32:
+                        raise ValueError(
+                            f"corrupt KV checkpoint: scale shape {arr.shape} "
+                            f"({arr.dtype}) does not match row width {width}"
+                        )
+        if capacity is not None and capacity < length:
+            raise ValueError(
+                f"restore capacity {capacity} cannot hold the {length}-position snapshot"
+            )
+        out = cls(num_layers, batch, allocator, max(capacity or length, 1), native=native)
+        index = 0
+        for layer, layer_widths in zip(out.layers, widths):
+            for row, width in enumerate(layer_widths):
+                group = arrays[index : index + per_row]
+                index += per_row
+                layer.tables[row] = allocator.import_table(*group[:2], *group[2:])
+                layer.widths[row] = width
+                layer.flushed[row] = width
+            layer.length = length
+        return out
 
     # ------------------------------------------------------------------ #
     def clone_prefix(self, length: int, capacity: int | None = None) -> "PagedKVCache":

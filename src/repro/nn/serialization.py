@@ -1,0 +1,126 @@
+"""Checkpoint wire format for KV caches (dense and block-paged).
+
+One tiny self-describing container shared by every KV serialization path
+(:meth:`repro.nn.KVCache.serialize`, :meth:`repro.nn.PagedKVCache.serialize`,
+pool-entry export in :mod:`repro.serving.pool`):
+
+``MAGIC (4 bytes) | header length (uint32 LE) | JSON header | raw payload``
+
+The JSON header carries the producer's structural metadata (``kind`` plus
+whatever geometry the producer needs to validate a restore) and an
+``arrays`` manifest — dtype and shape per payload array, in payload order.
+The payload is the arrays' C-order bytes, concatenated.  Serialization is
+*verbatim*: an int8 block store ships its quantized codes and float32
+scales untouched, so a restored entry's persisted bytes are bit-identical
+to the donor's and a re-export reproduces the exact input bytes.
+
+The header is serialized deterministically (sorted keys, no whitespace),
+which is what makes byte-level round-trip equality a meaningful test.
+
+:func:`unpack` rejects malformed input — wrong magic, truncated header or
+payload, undeclared trailing bytes, malformed JSON — with a clear
+``ValueError`` rather than whatever numpy reshape error the garbage would
+otherwise hit first.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = ["MAGIC", "pack", "unpack", "peek_kind"]
+
+#: Format tag + version; bump the digit on incompatible layout changes.
+MAGIC = b"RKV1"
+
+_PREFIX = "corrupt KV checkpoint"
+
+
+def pack(header: dict, arrays: list[np.ndarray]) -> bytes:
+    """Serialize ``header`` + ``arrays`` into the container format.
+
+    ``header`` must be JSON-serializable and must not contain the reserved
+    ``arrays`` key (the manifest is derived from ``arrays`` itself).
+    """
+    if "arrays" in header:
+        raise ValueError("header key 'arrays' is reserved for the manifest")
+    manifest = [
+        {"dtype": arr.dtype.str, "shape": list(arr.shape)} for arr in arrays
+    ]
+    body = dict(header)
+    body["arrays"] = manifest
+    encoded = json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    parts = [MAGIC, np.uint32(len(encoded)).tobytes(), encoded]
+    parts.extend(np.ascontiguousarray(arr).tobytes() for arr in arrays)
+    return b"".join(parts)
+
+
+def unpack(data: bytes) -> tuple[dict, list[np.ndarray]]:
+    """Parse container ``data`` back into ``(header, arrays)``.
+
+    The returned arrays are fresh writable copies (callers hand them to
+    caches that mutate their buffers).  Raises ``ValueError`` on any
+    structural damage.
+    """
+    header, offset = _read_header(data)
+    manifest = header.pop("arrays", None)
+    if not isinstance(manifest, list):
+        raise ValueError(f"{_PREFIX}: header is missing the array manifest")
+    arrays: list[np.ndarray] = []
+    for i, spec in enumerate(manifest):
+        try:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(dim) for dim in spec["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{_PREFIX}: malformed manifest entry {i}") from exc
+        if any(dim < 0 for dim in shape):
+            raise ValueError(f"{_PREFIX}: negative dimension in manifest entry {i}")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(data):
+            raise ValueError(
+                f"{_PREFIX}: truncated payload (array {i} needs {nbytes} bytes, "
+                f"{len(data) - offset} remain)"
+            )
+        arr = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+        arrays.append(arr.reshape(shape).copy())
+        offset += nbytes
+    if offset != len(data):
+        raise ValueError(
+            f"{_PREFIX}: {len(data) - offset} undeclared trailing bytes"
+        )
+    return header, arrays
+
+
+def peek_kind(data: bytes) -> str:
+    """The checkpoint's ``kind`` tag, without touching the payload."""
+    header, _ = _read_header(data)
+    kind = header.get("kind")
+    if not isinstance(kind, str):
+        raise ValueError(f"{_PREFIX}: header carries no 'kind' tag")
+    return kind
+
+
+def _read_header(data: bytes) -> tuple[dict, int]:
+    """Validate magic + header framing; return (header dict, payload offset)."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise ValueError(f"{_PREFIX}: expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if len(data) < 8:
+        raise ValueError(f"{_PREFIX}: truncated header ({len(data)} bytes)")
+    if data[:4] != MAGIC:
+        raise ValueError(f"{_PREFIX}: bad magic {data[:4]!r} (expected {MAGIC!r})")
+    header_len = int(np.frombuffer(data, dtype=np.uint32, count=1, offset=4)[0])
+    if 8 + header_len > len(data):
+        raise ValueError(
+            f"{_PREFIX}: truncated header (declares {header_len} bytes, "
+            f"{len(data) - 8} present)"
+        )
+    try:
+        header = json.loads(data[8 : 8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{_PREFIX}: malformed JSON header") from exc
+    if not isinstance(header, dict):
+        raise ValueError(f"{_PREFIX}: header must be a JSON object")
+    return header, 8 + header_len

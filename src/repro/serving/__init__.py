@@ -24,17 +24,27 @@ pieces that turn single-stream inference into a serving stack:
   forward, rejected tails roll back via per-row cache truncation.  Both
   engines enable it with ``draft_model=``; greedy outputs stay
   token-identical to plain stepping.
+* :class:`ReplicaFleet` — data-parallel scale-out: N engine workers in
+  separate processes, each with a private model/pool/engine, behind a
+  prefix-affinity router that pins prompt families to the replica whose
+  pool already holds their KV blocks (load-aware spill when saturated),
+  with warm-prefix migration over the pool's serialized byte format.
 """
 
-from repro.serving.pool import PoolStats, PrefixCachePool
+from repro.serving.pool import PoolStats, PrefixCachePool, stable_prefix_key
 from repro.serving.scheduler import BatchScheduler, SchedulerStats, ServingRequest
 from repro.serving.engine import ContinuousBatchingEngine, EngineRequest, EngineStats
 from repro.serving.aio import AsyncEngine, AsyncRequest, RequestCancelled, RequestTimeout
 from repro.serving.speculative import SpeculativeDecoder
+from repro.serving.fleet import FleetRequest, FleetStats, ReplicaFleet
 
 __all__ = [
     "PoolStats",
     "PrefixCachePool",
+    "stable_prefix_key",
+    "FleetRequest",
+    "FleetStats",
+    "ReplicaFleet",
     "BatchScheduler",
     "SchedulerStats",
     "ServingRequest",

@@ -488,9 +488,16 @@ class ContinuousBatchingEngine:
             request.prefill_seconds = self.clock() - request.admitted_at
             self._live[id(request.state)] = request
         elif fresh:
-            # Several cold prompts share one left-padded batched prefill
-            # (their rows cannot be checked back into the batch-1 pool).
-            self.batch.admit_many([r.state for r in fresh])
+            # Several cold prompts share one left-padded batched prefill;
+            # each admitted row's prompt prefill is cloned out of the shared
+            # staging and checked in, so a cold *group* seeds the pool just
+            # like a lone cold request does.
+            sink = None
+            if self.cache_pool is not None:
+                sink = lambda state, cache: self.cache_pool.checkin(  # noqa: E731
+                    state.prompt_ids, cache
+                )
+            self.batch.admit_many([r.state for r in fresh], row_sink=sink)
             prefill_end = self.clock()
             for request in fresh:
                 request.prefill_seconds = prefill_end - request.admitted_at

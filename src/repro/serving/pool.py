@@ -20,6 +20,7 @@ exclusively by their caller until check-in.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import weakref
 from collections import OrderedDict
@@ -29,9 +30,25 @@ import numpy as np
 
 from repro.models.decoder import DecoderLM, common_prefix_length
 from repro.nn import KVCache
-from repro.nn.paged import validate_kv_config
+from repro.nn.paged import PagedKVCache, validate_kv_config
+from repro.nn.serialization import pack, unpack
 
-__all__ = ["PoolStats", "PrefixCachePool"]
+__all__ = ["PoolStats", "PrefixCachePool", "stable_prefix_key"]
+
+
+def stable_prefix_key(ids: np.ndarray) -> int:
+    """Process-stable 64-bit digest of a token prefix (blake2b of the ids).
+
+    Pool entry keys and the fleet router's prefix-affinity hashing both use
+    this digest, so two processes — or a router and a worker — always agree
+    on prefix identity.  The builtin ``hash(ids.tobytes())`` it replaces is
+    salted per process (PYTHONHASHSEED), which would make serialized entries
+    land under fresh keys after migration and affinity pins disagree with
+    pool contents (the same latent-bug class as the registry ``hash()``
+    seed flake fixed in PR 2).
+    """
+    ids = np.ascontiguousarray(np.asarray(ids, dtype=np.int64).ravel())
+    return int.from_bytes(hashlib.blake2b(ids.tobytes(), digest_size=8).digest(), "big")
 
 
 @dataclass
@@ -169,8 +186,8 @@ class PrefixCachePool:
 
     @staticmethod
     def _key(ids: np.ndarray) -> int:
-        """Hash key of a token-prefix (identity for check-in deduplication)."""
-        return hash(ids.tobytes())
+        """Stable key of a token-prefix (identity for check-in deduplication)."""
+        return stable_prefix_key(ids)
 
     def clear(self) -> None:
         """Drop every pooled cache (stats are kept)."""
@@ -308,3 +325,113 @@ class PrefixCachePool:
             ):
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # entry serialization (fleet migration, disk warm-start)
+    # ------------------------------------------------------------------ #
+    def export_entry(self, prompt_ids: np.ndarray) -> bytes | None:
+        """Serialize the pooled entry best covering ``prompt_ids`` to bytes.
+
+        The entry sharing the longest common token prefix (of at least
+        ``min_reuse_tokens``) is exported *whole* — ids plus its KV cache —
+        without removing it from the pool or touching the LRU order.
+        Returns ``None`` when nothing usable is pooled.  The bytes restore
+        via :meth:`import_entry` on any pool with the same model geometry
+        and KV configuration; int8 block content travels verbatim (codes +
+        scales), so the restored entry's persisted KV is bit-identical to
+        the donor's.
+        """
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64).ravel()
+        with self._lock:
+            best_entry, best_common = None, 0
+            for entry in self._entries.values():
+                common = common_prefix_length(entry.ids, prompt_ids)
+                if common > best_common:
+                    best_entry, best_common = entry, common
+            if best_entry is None or best_common < self.min_reuse_tokens:
+                return None
+            return self._pack_entry(best_entry)
+
+    def export_entries(self) -> list[bytes]:
+        """Serialize every pooled entry, least recently used first.
+
+        Importing the list in order reproduces the donor pool's LRU order —
+        the disk warm-start / whole-pool migration companion of
+        :meth:`export_entry`.
+        """
+        with self._lock:
+            return [self._pack_entry(entry) for entry in self._entries.values()]
+
+    def _pack_entry(self, entry: _PoolEntry) -> bytes:
+        cache_bytes = entry.cache.serialize()
+        header = {
+            "kind": "pool-entry",
+            "kv_layout": self.kv_layout,
+            "kv_dtype": self.kv_dtype,
+        }
+        return pack(
+            header, [entry.ids, np.frombuffer(cache_bytes, dtype=np.uint8)]
+        )
+
+    def import_entry(self, data: bytes) -> int:
+        """Restore a serialized entry into this pool; returns its token count.
+
+        The entry must match this pool's KV layout and dtype (mismatches
+        raise — silently re-encoding would break the bit-identity contract),
+        and its cache is rebuilt on this pool's model: dense snapshots into
+        fresh buffers, paged snapshots into fresh exclusive blocks on the
+        model's shared allocator.  The imported entry lands most recently
+        used, replacing any entry already pooled under the same prefix, and
+        the usual capacity/byte-budget eviction applies.
+        """
+        header, arrays = unpack(data)
+        if header.get("kind") != "pool-entry":
+            raise ValueError(
+                f"corrupt KV checkpoint: expected kind 'pool-entry', got "
+                f"{header.get('kind')!r}"
+            )
+        if len(arrays) != 2:
+            raise ValueError(
+                f"corrupt KV checkpoint: pool entry needs 2 arrays, got {len(arrays)}"
+            )
+        layout = header.get("kv_layout")
+        dtype = header.get("kv_dtype")
+        if layout != self.kv_layout or dtype != self.kv_dtype:
+            raise ValueError(
+                f"pool entry was serialized as {layout}/{dtype} but this pool "
+                f"stores {self.kv_layout}/{self.kv_dtype}"
+            )
+        ids = np.asarray(arrays[0], dtype=np.int64).ravel()
+        cache_bytes = arrays[1].tobytes()
+        capacity = self.model.config.max_position
+        if self.kv_layout == "dense":
+            cache = KVCache.deserialize(cache_bytes, capacity=capacity)
+        else:
+            cache = PagedKVCache.deserialize(
+                cache_bytes,
+                self.model.paged_allocator(self.kv_dtype),
+                capacity=capacity,
+            )
+        if cache.batch_size != 1 or cache.length != len(ids):
+            raise ValueError(
+                f"corrupt KV checkpoint: entry cache is batch "
+                f"{cache.batch_size} x {cache.length} tokens but the prefix "
+                f"holds {len(ids)} ids"
+            )
+        key = self._key(ids)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = _PoolEntry(ids=ids, cache=cache)
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and len(self._entries) > 1
+                and self._resident_bytes() > self.max_bytes
+            ):
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return int(len(ids))
+
+    def import_entries(self, blobs) -> int:
+        """Restore many serialized entries (see :meth:`import_entry`);
+        returns the total token count imported."""
+        return sum(self.import_entry(blob) for blob in blobs)

@@ -31,21 +31,292 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.decoder import DecodeBatch, DecodeState
+from repro.models.decoder import DecodeBatch, DecodeState, left_pad_batch
 from repro.nn.paged import validate_kv_config
 from repro.tensor import functional as F, no_grad
 from repro.utils.rng import new_rng
 
 
-class _DrafterRow:
-    """Per-request drafter bookkeeping: the draft model's own batch-1 KV
-    cache plus how many history tokens it currently holds."""
+class _DrafterBatch:
+    """Every live row's drafter state in one shared multi-row KV cache.
 
-    __slots__ = ("cache", "length")
+    Drafting used to run the draft model row by row: each proposal step was
+    a batch-1 ``forward_incremental`` per live request, so a batch of R rows
+    paid ``R * (k-1)`` drafter forwards per speculative step.  This batch
+    mirrors :class:`DecodeBatch`'s ragged bookkeeping (right-aligned spans,
+    per-row mask, per-row truncation, compaction) for the *drafter's* cache,
+    so one speculative step costs at most two batched catch-up forwards
+    (newcomer prefill + resident gap fill) plus ``k - 1`` batched proposal
+    forwards — independent of R.
 
-    def __init__(self, cache) -> None:
-        self.cache = cache
-        self.length = 0
+    Row membership follows the stepped target batch: newcomers prefill
+    their history as one left-padded batch and splice in via
+    ``admit_row``; residents fill their 1–2 token history gap in one ragged
+    right-padded forward (junk tail columns are truncated away immediately,
+    so spans stay contiguous); rows whose history outgrew the drafter's
+    context leave the batch and pad their proposals (correctness is
+    untouched — pads just stop saving target forwards, exactly as before).
+    """
+
+    def __init__(self, draft_model, kv_layout: str, kv_dtype: str) -> None:
+        self.model = draft_model
+        self.kv_layout = kv_layout
+        self.kv_dtype = kv_dtype
+        self.capacity = draft_model.config.max_position
+        self.cache = self._make_cache(
+            0, min(self.capacity, 64) if kv_layout == "dense" else self.capacity, native=True
+        )
+        self.states: list[DecodeState] = []
+        self.col_start: list[int] = []
+        self.rows: dict[int, int] = {}  # id(state) -> row index
+        self.mask = np.zeros((0, self.capacity), dtype=bool)
+
+    def _make_cache(self, rows: int, capacity: int, *, native: bool = False):
+        if self.kv_layout == "paged":
+            return self.model.make_paged_cache(
+                rows, capacity, kv_dtype=self.kv_dtype, native=native
+            )
+        return self.model.make_cache(rows, capacity)
+
+    def row_length(self, row: int) -> int:
+        return self.cache.length - self.col_start[row]
+
+    # ------------------------------------------------------------------ #
+    # row bookkeeping (the DecodeBatch mechanics, on the drafter's cache)
+    # ------------------------------------------------------------------ #
+    def _retire_keep(self, keep: list[int]) -> None:
+        if len(keep) == len(self.states):
+            return
+        idx = np.asarray(keep, dtype=np.int64)
+        self.cache.retire_rows(idx)
+        self.mask = self.mask[idx]
+        self.states = [self.states[i] for i in keep]
+        self.col_start = [self.col_start[i] for i in keep]
+        self.rows = {id(st): i for i, st in enumerate(self.states)}
+
+    def discard(self, states) -> None:
+        """Drop retired requests' rows (their blocks free immediately)."""
+        gone = {id(st) for st in states}
+        if gone & self.rows.keys():
+            self._retire_keep(
+                [i for i, st in enumerate(self.states) if id(st) not in gone]
+            )
+
+    def _realign(self, new_length: int) -> None:
+        if not self.states:
+            self.cache.truncate(0)
+            return
+        starts = np.array(self.col_start, dtype=np.int64)
+        new_starts = self.cache.realign(starts, new_length)
+        self.mask[:] = False
+        for i, start in enumerate(new_starts):
+            self.col_start[i] = int(start)
+            self.mask[i, start:new_length] = True
+
+    def _ensure_columns(self, extra: int) -> None:
+        """Make room for ``extra`` fresh columns: compact dead columns away
+        when the live end would overrun the drafter context, grow the dense
+        allocation on demand."""
+        widest = max((self.cache.length - s for s in self.col_start), default=0)
+        if self.cache.length + extra > self.capacity or self.cache.length - widest > 16:
+            self._realign(widest)
+        needed = self.cache.length + extra
+        if needed > self.cache.capacity:
+            self.cache.grow(min(self.capacity, max(needed, 2 * self.cache.capacity)))
+
+    def _admit_row(self, st: DecodeState, src, src_row: int, src_start: int) -> None:
+        width = src.length - src_start
+        if width > self.cache.capacity:
+            self.cache.grow(min(self.capacity, max(width, 2 * self.cache.capacity)))
+        if width > self.cache.length and self.states:
+            self._realign(width)
+        start = self.cache.admit_row(src, src_row, src_start)
+        self.col_start.append(start)
+        self.rows[id(st)] = len(self.states)
+        self.states.append(st)
+        row_mask = np.zeros((1, self.capacity), dtype=bool)
+        row_mask[0, start : self.cache.length] = True
+        self.mask = np.concatenate([self.mask, row_mask], axis=0)
+
+    def _truncate_row_tail(self, row: int, drop: int) -> None:
+        if drop <= 0:
+            return
+        self.cache.truncate_row(row, self.cache.length - drop)
+        self.mask[row, self.col_start[row] : self.col_start[row] + drop] = False
+        self.col_start[row] += drop
+
+    # ------------------------------------------------------------------ #
+    # drafting
+    # ------------------------------------------------------------------ #
+    def propose(self, states, k_eff: int, rng) -> list[list[np.ndarray | None]]:
+        """Propose ``k_eff`` tokens for every row into ``st.draft_tokens``.
+
+        Returns the drafter's per-proposal distributions per row (``None``
+        for greedy rows and for padding proposals emitted when the drafter's
+        context window is exhausted)."""
+        qs: list[list[np.ndarray | None]] = [[None] * k_eff for _ in states]
+        if k_eff == 0:
+            for st in states:
+                st.draft_tokens = np.empty(0, dtype=np.int64)
+            return qs
+        drafts = np.empty((len(states), k_eff), dtype=np.int64)
+        tokens = {id(st): st.output() for st in states}
+        self._retire_keep([i for i, st in enumerate(self.states) if id(st) in tokens])
+        # Per-state next-proposal distribution; absent/None means the row
+        # left the drafter batch and pads its remaining proposals.
+        lp = self._fill_gaps(tokens)
+        lp.update(self._admit_fresh(states, tokens))
+        for j in range(k_eff):
+            for i, st in enumerate(states):
+                p = lp.get(id(st))
+                if p is None:
+                    # Drafter context exhausted: pad with the last real
+                    # token.  Verification treats a pad like any other
+                    # (likely wrong) proposal, so output correctness is
+                    # unaffected.
+                    drafts[i, j] = tokens[id(st)][-1]
+                elif st.temperature <= 0:
+                    drafts[i, j] = int(np.argmax(p))
+                else:
+                    probs = _tempered_probs(p, st.temperature)
+                    drafts[i, j] = _sample_cdf(probs, rng)
+                    qs[i][j] = probs
+            if j + 1 < k_eff:
+                lp = self._extend(
+                    {
+                        id(st): int(drafts[i, j])
+                        for i, st in enumerate(states)
+                        if lp.get(id(st)) is not None
+                    }
+                )
+        for i, st in enumerate(states):
+            st.draft_tokens = drafts[i].copy()
+        return qs
+
+    def _fill_gaps(self, tokens: dict) -> dict:
+        """Bring resident rows up to date with their accepted history.
+
+        The gap is 1 token after a rejection, 2 after full acceptance (the
+        bonus token plus the proposal the drafter never entered).  All gaps
+        fill in one ragged right-padded forward: rows feed their real gap
+        first, junk afterwards, and each row's junk tail is truncated away
+        right after — so every span stays exactly its drafter history.
+        """
+        while self.states:
+            lens = [self.row_length(i) for i in range(len(self.states))]
+            gaps = [len(tokens[id(st)]) - lens[i] for i, st in enumerate(self.states)]
+            g_max = max(gaps)
+            # Rows with nothing to feed, or that cannot fit the batch's
+            # uniform g_max columns inside the drafter context, leave.
+            keep = [
+                i
+                for i in range(len(self.states))
+                if gaps[i] > 0 and lens[i] + g_max <= self.capacity
+            ]
+            if len(keep) == len(self.states):
+                break
+            self._retire_keep(keep)
+        if not self.states:
+            return {}
+        self._ensure_columns(g_max)
+        column = self.cache.length
+        ids = np.empty((len(self.states), g_max), dtype=np.int64)
+        positions = np.empty_like(ids)
+        for i, st in enumerate(self.states):
+            hist = tokens[id(st)]
+            g = gaps[i]
+            ids[i, :g] = hist[lens[i] : lens[i] + g]
+            ids[i, g:] = hist[-1]  # junk tail, truncated below
+            positions[i] = lens[i] + np.arange(g_max)
+        self.mask[:, column : column + g_max] = True
+        with no_grad():
+            logits = self.model.forward_incremental(
+                ids,
+                self.cache,
+                attention_mask=self.mask[:, : column + g_max],
+                positions=positions,
+            )
+            log_probs = F.log_softmax(logits, axis=-1).data
+        out = {}
+        for i, st in enumerate(self.states):
+            out[id(st)] = log_probs[i, gaps[i] - 1]
+            self._truncate_row_tail(i, g_max - gaps[i])
+        return out
+
+    def _admit_fresh(self, states, tokens: dict) -> dict:
+        """Prefill newcomers' full history as one left-padded drafter batch
+        (the admission analogue of :meth:`DecodeBatch.admit_many`)."""
+        fresh = [
+            st
+            for st in states
+            if id(st) not in self.rows and len(tokens[id(st)]) <= self.capacity
+        ]
+        if not fresh:
+            return {}
+        ids, pmask, positions, lengths = left_pad_batch(
+            [tokens[id(st)] for st in fresh]
+        )
+        max_len = int(lengths.max())
+        with no_grad():
+            staging = self._make_cache(len(fresh), max_len)
+            logits = self.model.forward_incremental(
+                ids,
+                staging,
+                attention_mask=pmask,
+                positions=positions,
+                last_logits_only=True,
+            )
+            log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data
+        out = {}
+        for i, st in enumerate(fresh):
+            self._admit_row(st, staging, i, max_len - int(lengths[i]))
+            out[id(st)] = log_probs[i]
+        if hasattr(staging, "release"):
+            staging.release()
+        return out
+
+    def _extend(self, feed: dict) -> dict:
+        """One batched proposal forward: every remaining row enters its just
+        proposed token and returns the next proposal's distribution."""
+        keep = [
+            i
+            for i, st in enumerate(self.states)
+            if id(st) in feed and self.row_length(i) + 1 <= self.capacity
+        ]
+        self._retire_keep(keep)
+        if not self.states:
+            return {}
+        self._ensure_columns(1)
+        column = self.cache.length
+        ids = np.array([[feed[id(st)]] for st in self.states], dtype=np.int64)
+        positions = np.array(
+            [[self.row_length(i)] for i in range(len(self.states))], dtype=np.int64
+        )
+        self.mask[:, column : column + 1] = True
+        with no_grad():
+            logits = self.model.forward_incremental(
+                ids,
+                self.cache,
+                attention_mask=self.mask[:, : column + 1],
+                positions=positions,
+            )
+            lp = F.log_softmax(logits[:, -1, :], axis=-1).data
+        return {id(st): lp[i] for i, st in enumerate(self.states)}
+
+    def rollback(self, st: DecodeState, history_len: int, accepted_emitted: int) -> None:
+        """Truncate one row to its accepted history prefix.
+
+        After drafting, the row holds the old history plus the first
+        ``k_eff - 1`` proposals; of those proposals only the emitted
+        accepted prefix survives in the *target's* history, so everything
+        past ``history_len + accepted_emitted`` is stale."""
+        row = self.rows.get(id(st))
+        if row is None:
+            return
+        length = self.row_length(row)
+        entered = max(length - history_len, 0)
+        keep = history_len + min(accepted_emitted, entered)
+        self._truncate_row_tail(row, length - keep)
 
 
 class SpeculativeDecoder:
@@ -105,6 +376,7 @@ class SpeculativeDecoder:
         self.draft_k = int(draft_k)
         self.draft_kv_layout = draft_kv_layout
         self.draft_kv_dtype = draft_kv_dtype
+        self._drafter: _DrafterBatch | None = None
         #: Cumulative across every stepped batch: drafter proposals made,
         #: proposals accepted *and emitted*, and verify steps run.
         self.drafted = 0
@@ -160,9 +432,13 @@ class SpeculativeDecoder:
         k_eff = min(self.draft_k, max_position - max_pos, batch.capacity - max_pos)
         k_eff = max(k_eff, 0)
         states = list(batch.states)
-        draft_qs: list[list[np.ndarray | None]] = []
-        for st in states:
-            draft_qs.append(self._draft(st, k_eff, rng))
+        if self._drafter is None:
+            self._drafter = _DrafterBatch(
+                self.draft_model, self.draft_kv_layout, self.draft_kv_dtype
+            )
+        # All rows' proposals come from batched drafter forwards (catch-up
+        # plus k_eff - 1 extensions) — not one drafter loop per row.
+        draft_qs = self._drafter.propose(states, k_eff, rng)
         # One batched verify forward over [pending, g_1, .., g_k] per row.
         s = 1 + k_eff
         ids = np.empty((len(states), s), dtype=np.int64)
@@ -190,103 +466,11 @@ class SpeculativeDecoder:
             if st.finished:
                 continue  # row retires below; no rollback needed
             batch.rollback_row(st, s - emitted)
-            self._rollback_drafter(st, history_len, accepted_emitted)
-        return batch.retire_finished()
-
-    # ------------------------------------------------------------------ #
-    # drafting
-    # ------------------------------------------------------------------ #
-    def _make_draft_cache(self, st: DecodeState):
-        capacity = min(
-            self.draft_model.config.max_position,
-            len(st.prompt_ids) + max(st.max_new_tokens, 1) + self.draft_k,
-        )
-        if self.draft_kv_layout == "paged":
-            return self.draft_model.make_paged_cache(
-                1, capacity, kv_dtype=self.draft_kv_dtype, native=True
-            )
-        return self.draft_model.make_cache(1, capacity)
-
-    def _draft(
-        self, st: DecodeState, k_eff: int, rng: np.random.Generator | None
-    ) -> list[np.ndarray | None]:
-        """Propose ``k_eff`` tokens for one row into ``st.draft_tokens``.
-
-        The drafter decodes autoregressively off its own cache: one gap-fill
-        forward brings it up to date with the accepted history (the rolled-
-        back tail of the previous step was truncated away, so the gap is at
-        most two tokens), then ``k_eff - 1`` single-token forwards extend
-        the proposals.  Returns the drafter's per-proposal distributions
-        (``None`` for greedy rows and for padding proposals emitted when
-        the drafter's context window is exhausted — padding is still
-        *correct*, it just stops saving target forwards).
-        """
-        qs: list[np.ndarray | None] = [None] * k_eff
-        if k_eff == 0:
-            st.draft_tokens = np.empty(0, dtype=np.int64)
-            return qs
-        entry = st.draft_cache
-        if not isinstance(entry, _DrafterRow):
-            entry = _DrafterRow(self._make_draft_cache(st))
-            st.draft_cache = entry
-        tokens = st.output()
-        history_len = len(tokens)
-        draft_max = self.draft_model.config.max_position
-        drafts = np.empty(k_eff, dtype=np.int64)
-        log_probs = None
-        if history_len <= draft_max and entry.length < history_len:
-            gap = tokens[entry.length : history_len]
-            with no_grad():
-                logits = self.draft_model.forward_incremental(
-                    gap[None, :], entry.cache, last_logits_only=True
-                )
-                log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
-            entry.length = history_len
-        for j in range(k_eff):
-            if log_probs is None:
-                # Drafter context exhausted: pad with the last real token.
-                # Verification treats a pad like any other (likely wrong)
-                # proposal, so output correctness is unaffected.
-                drafts[j] = tokens[-1]
-                continue
-            if st.temperature <= 0:
-                drafts[j] = int(np.argmax(log_probs))
-            else:
-                probs = _tempered_probs(log_probs, st.temperature)
-                drafts[j] = _sample_cdf(probs, rng)
-                qs[j] = probs
-            if j + 1 < k_eff:
-                if entry.length + 1 <= draft_max:
-                    with no_grad():
-                        logits = self.draft_model.forward_incremental(
-                            drafts[j : j + 1][None, :],
-                            entry.cache,
-                            last_logits_only=True,
-                        )
-                        log_probs = F.log_softmax(logits[:, -1, :], axis=-1).data[0]
-                    entry.length += 1
-                else:
-                    log_probs = None
-        st.draft_tokens = drafts
-        return qs
-
-    def _rollback_drafter(
-        self, st: DecodeState, history_len: int, accepted_emitted: int
-    ) -> None:
-        """Truncate the drafter cache to the accepted history prefix.
-
-        After drafting, the drafter cache holds the old history plus the
-        first ``k_eff - 1`` proposals; of those proposals only the emitted
-        accepted prefix survives in the *target's* history, so everything
-        past ``history_len + accepted_emitted`` is stale."""
-        entry = st.draft_cache
-        if not isinstance(entry, _DrafterRow):
-            return
-        entered = max(entry.length - history_len, 0)
-        keep = history_len + min(accepted_emitted, entered)
-        if entry.length > keep:
-            entry.cache.truncate(keep)
-            entry.length = keep
+            self._drafter.rollback(st, history_len, accepted_emitted)
+        retired = batch.retire_finished()
+        if retired:
+            self._drafter.discard(retired)
+        return retired
 
     # ------------------------------------------------------------------ #
     # acceptance
