@@ -29,16 +29,27 @@ pieces that turn single-stream inference into a serving stack:
   prefix-affinity router that pins prompt families to the replica whose
   pool already holds their KV blocks (load-aware spill when saturated),
   with warm-prefix migration over the pool's serialized byte format.
+* :class:`EngineConfig` — the one frozen, validated configuration object
+  every constructor above accepts as ``config=``; JSON round-trippable,
+  picklable across fleet workers, with deprecation-warned legacy-kwarg
+  compatibility via :meth:`EngineConfig.from_kwargs`.
+* :class:`HttpServer` — the production HTTP front end over
+  :class:`AsyncEngine`: SSE token streaming, request priorities and
+  deadlines, per-tenant token-bucket rate limits, queue-depth load
+  shedding (429 + Retry-After), Prometheus ``/metrics`` and ``/healthz``.
 """
 
+from repro.serving.config import EngineConfig
 from repro.serving.pool import PoolStats, PrefixCachePool, stable_prefix_key
 from repro.serving.scheduler import BatchScheduler, SchedulerStats, ServingRequest
 from repro.serving.engine import ContinuousBatchingEngine, EngineRequest, EngineStats
 from repro.serving.aio import AsyncEngine, AsyncRequest, RequestCancelled, RequestTimeout
 from repro.serving.speculative import SpeculativeDecoder
 from repro.serving.fleet import FleetRequest, FleetStats, ReplicaFleet
+from repro.serving.http import HttpServer, HttpStats, TokenBucket
 
 __all__ = [
+    "EngineConfig",
     "PoolStats",
     "PrefixCachePool",
     "stable_prefix_key",
@@ -56,4 +67,7 @@ __all__ = [
     "RequestCancelled",
     "RequestTimeout",
     "SpeculativeDecoder",
+    "HttpServer",
+    "HttpStats",
+    "TokenBucket",
 ]

@@ -65,6 +65,7 @@ from typing import AsyncIterator, Callable, Sequence
 import numpy as np
 
 from repro.models.decoder import DecoderLM, PrefixCachedScorer
+from repro.serving.config import EngineConfig
 from repro.serving.engine import (
     ContinuousBatchingEngine,
     EngineRequest,
@@ -161,6 +162,8 @@ class AsyncRequest:
         self.temperature: float = 0.0
         self.stop_ids: frozenset = frozenset()
         self.candidates: tuple = ()
+        #: Admission priority (larger = more urgent; default 0 = FIFO).
+        self.priority: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -264,36 +267,32 @@ class AsyncEngine:
         self,
         model: DecoderLM,
         *,
-        max_batch_rows: int = 8,
+        config: EngineConfig | None = None,
         cache_pool: PrefixCachePool | None = None,
-        admit_deadline: float = 0.0,
-        min_admit_rows: int = 1,
-        prefill_chunk_tokens: int | None = None,
         clock=time.perf_counter,
         rng: np.random.Generator | int | None = None,
         on_step: Callable[["AsyncEngine"], None] | None = None,
-        kv_layout: str = "dense",
-        kv_dtype: str = "fp32",
-        draft_model: DecoderLM | None = None,
-        draft_k: int = 4,
+        **legacy,
     ) -> None:
+        # Validate the whole configuration *before* any resource exists: a
+        # bad config must raise here with no default pool registered, no
+        # scorer built and no stepping thread startable — previously the
+        # pool was allocated first and a failing engine constructor leaked
+        # it into the process-wide registry.
+        config = EngineConfig.from_kwargs(legacy, base=config, owner="AsyncEngine")
+        self.config = config
         self.model = model
-        self.cache_pool = cache_pool or PrefixCachePool.default(model, kv_layout, kv_dtype)
+        self.cache_pool = cache_pool or PrefixCachePool.default(
+            model, config.kv_layout, config.kv_dtype
+        )
         self.clock = clock
         self.rng = new_rng(rng)
         self.engine = ContinuousBatchingEngine(
             model,
-            max_batch_rows=max_batch_rows,
+            config=config,
             cache_pool=self.cache_pool,
-            admit_deadline=admit_deadline,
-            min_admit_rows=min_admit_rows,
-            prefill_chunk_tokens=prefill_chunk_tokens,
             clock=clock,
             rng=self.rng,
-            kv_layout=kv_layout,
-            kv_dtype=kv_dtype,
-            draft_model=draft_model,
-            draft_k=draft_k,
         )
         self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
         self.on_step = on_step
@@ -353,6 +352,7 @@ class AsyncEngine:
             request.max_new_tokens = int(spec.get("max_new_tokens", 16))
             request.temperature = float(spec.get("temperature", 0.0))
             request.stop_ids = frozenset(spec.get("stop_ids") or ())
+            request.priority = int(spec.get("priority") or 0)
         else:
             raise ValueError(f"unknown request kind {kind!r}")
         timeout = spec.get("timeout")
@@ -385,8 +385,15 @@ class AsyncEngine:
         temperature: float = 0.0,
         stop_ids: set[int] | None = None,
         timeout: float | None = None,
+        priority: int = 0,
     ) -> AsyncRequest:
-        """Queue a generation request; returns immediately with a future."""
+        """Queue a generation request; returns immediately with a future.
+
+        ``priority`` (larger = more urgent) steers admission order and may
+        preempt a lower-priority decoding row when the batch is full; the
+        per-request ``timeout`` doubles as the deadline that orders
+        same-priority admissions.
+        """
         request = self._build_request(
             {
                 "prompt_ids": prompt_ids,
@@ -394,6 +401,7 @@ class AsyncEngine:
                 "temperature": temperature,
                 "stop_ids": stop_ids,
                 "timeout": timeout,
+                "priority": priority,
             }
         )
         self._register([request])
@@ -442,6 +450,7 @@ class AsyncEngine:
         temperature: float = 0.0,
         stop_ids: set[int] | None = None,
         timeout: float | None = None,
+        priority: int = 0,
     ) -> np.ndarray:
         """Submit and await one generation (returns ``prompt + generated``)."""
         request = self.submit(
@@ -450,6 +459,7 @@ class AsyncEngine:
             temperature=temperature,
             stop_ids=stop_ids,
             timeout=timeout,
+            priority=priority,
         )
         return await asyncio.wrap_future(request.future)
 
@@ -472,6 +482,7 @@ class AsyncEngine:
         temperature: float = 0.0,
         stop_ids: set[int] | None = None,
         timeout: float | None = None,
+        priority: int = 0,
     ) -> AsyncIterator[int]:
         """Submit one generation and yield its tokens as they are decoded."""
         request = self.submit(
@@ -480,6 +491,7 @@ class AsyncEngine:
             temperature=temperature,
             stop_ids=stop_ids,
             timeout=timeout,
+            priority=priority,
         )
         async for token in request.tokens():
             yield token
@@ -527,6 +539,22 @@ class AsyncEngine:
     # ------------------------------------------------------------------ #
     # streaming plumbing
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _generated_so_far(request: AsyncRequest) -> list[int]:
+        """Tokens generated since submission, as a list.
+
+        Stable across preemption: a preempted request resumes on a fresh
+        ``DecodeState`` whose prompt is the tokens decoded so far, so the
+        generated view is read through
+        :meth:`~repro.serving.engine.EngineRequest.generated_ids`, which
+        measures against the original prompt length.  Publish cursors
+        index into this view, making a mid-stream state swap invisible to
+        subscribers (no duplicated, no dropped tokens).
+        """
+        if request.engine_request is None:
+            return []
+        return [int(t) for t in request.engine_request.generated_ids()]
+
     def _subscribe(
         self, request: AsyncRequest, loop: asyncio.AbstractEventLoop, queue: asyncio.Queue
     ) -> None:
@@ -540,20 +568,14 @@ class AsyncEngine:
         request replays everything and closes immediately.
         """
         with self._lock:
-            state = (
-                request.engine_request.state
-                if request.engine_request is not None
-                else None
-            )
+            tokens = self._generated_so_far(request)
             if request.future.done():
-                if state is not None:
-                    for token in state.generated[: state.gen_len]:
-                        queue.put_nowait(int(token))
+                for token in tokens:
+                    queue.put_nowait(token)
                 queue.put_nowait(_END)
                 return
-            if state is not None:
-                for token in state.generated[: request._published]:
-                    queue.put_nowait(int(token))
+            for token in tokens[: request._published]:
+                queue.put_nowait(token)
             request._subscribers.append((loop, queue))
 
     def _unsubscribe(
@@ -579,18 +601,9 @@ class AsyncEngine:
                 if final:
                     request._subscribers.clear()
                 return
-            state = (
-                request.engine_request.state
-                if request.engine_request is not None
-                else None
-            )
-            fresh: list[int] = []
-            if state is not None:
-                fresh = [
-                    int(t)
-                    for t in state.generated[request._published : state.gen_len]
-                ]
-                request._published = state.gen_len
+            tokens = self._generated_so_far(request)
+            fresh = tokens[request._published :]
+            request._published = len(tokens)
             dead: list[tuple] = []
             for loop, queue in subscribers:
                 try:
@@ -722,8 +735,23 @@ class AsyncEngine:
             self._active.pop(key, None)
 
     def _hand_to_engine(self, inbox: list[AsyncRequest]) -> None:
-        """Feed drained inbox entries to the inner engine (stepping thread)."""
-        for request in inbox:
+        """Feed drained inbox entries to the inner engine (stepping thread).
+
+        The inbox drains priority-first (arrival, then deadline, as the
+        tiebreaks — same-priority traffic stays FIFO) so the engine's
+        priority-aware admission sees the same order a true priority queue
+        would have delivered; the per-request deadline rides along to
+        order co-arriving same-priority admissions inside the engine.
+        """
+        for request in sorted(
+            inbox,
+            key=lambda r: (
+                -r.priority,
+                r.submitted_at,
+                r.deadline if r.deadline is not None else float("inf"),
+                r.request_id,
+            ),
+        ):
             try:
                 engine_request = self.engine.submit(
                     request.prompt_ids,
@@ -731,6 +759,8 @@ class AsyncEngine:
                     temperature=request.temperature,
                     stop_ids=set(request.stop_ids),
                     submitted_at=request.submitted_at,
+                    priority=request.priority,
+                    deadline=request.deadline,
                 )
             except Exception as exc:  # validation raced a config change
                 self._resolve(request, exc=exc)

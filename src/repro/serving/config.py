@@ -1,0 +1,194 @@
+"""Unified engine configuration: one validated object for every front end.
+
+Before this module, :class:`~repro.serving.engine.ContinuousBatchingEngine`,
+:class:`~repro.serving.aio.AsyncEngine`, :class:`~repro.serving.scheduler
+.BatchScheduler` and the fleet worker builder each re-declared the same
+dozen keyword arguments (batch geometry, admission policy, KV storage,
+speculative decoding) and re-implemented the same validation — three
+copies that could and did drift.  :class:`EngineConfig` is the single
+source of truth: a *frozen* dataclass validated at construction, accepted
+by every constructor as ``config=``, picklable (so it crosses the fleet's
+process boundary unchanged) and JSON round-trippable (so the HTTP server
+and the benchmark driver configure engines declaratively).
+
+Legacy keyword arguments keep working everywhere through
+:meth:`EngineConfig.from_kwargs`, which folds them into a config and emits
+a :class:`DeprecationWarning` — existing call sites migrate at their own
+pace without a behaviour change.
+
+``draft_model`` may be a live :class:`~repro.models.decoder.DecoderLM`
+(in-process use) or a registry model *name* (declarative / cross-process
+use); :meth:`resolve_draft_model` materialises the latter on demand.  Only
+the name form serialises to JSON — a weight blob has no business inside a
+config file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig"]
+
+
+#: Config fields that legacy engine keyword arguments map onto, in the
+#: order the old constructors declared them.
+_LEGACY_FIELDS = (
+    "max_batch_rows",
+    "admit_deadline",
+    "min_admit_rows",
+    "prefill_chunk_tokens",
+    "kv_layout",
+    "kv_dtype",
+    "draft_model",
+    "draft_k",
+)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Validated, immutable configuration shared by every serving engine.
+
+    Instances validate eagerly: constructing one with a bad field raises
+    ``ValueError`` immediately, *before* any engine resources (threads,
+    pools, caches) exist — front ends rely on this ordering so a bad
+    config can never leak a half-built engine.
+    """
+
+    #: Live-batch row capacity (concurrent decoding requests).
+    max_batch_rows: int = 8
+    #: Idle-engine batch-closing deadline in seconds (0 = admit at once).
+    admit_deadline: float = 0.0
+    #: Group small admissions until this many can be admitted together.
+    min_admit_rows: int = 1
+    #: Per-step prefill token budget (Sarathi chunking); ``None`` = atomic.
+    prefill_chunk_tokens: int | None = None
+    #: KV storage of the live batch: ``"dense"`` or ``"paged"``.
+    kv_layout: str = "dense"
+    #: KV element type: ``"fp32"`` or ``"int8"`` (paged block store).
+    kv_dtype: str = "fp32"
+    #: Speculative drafter: a live ``DecoderLM``, a registry model name,
+    #: or ``None`` to decode plainly.
+    draft_model: object | None = None
+    #: Tokens the drafter proposes per iteration.
+    draft_k: int = 4
+    #: Allow the scheduler to preempt a decoding row when a strictly
+    #: higher-priority request is waiting and the batch is full.  Equal
+    #: priorities never preempt, so all-default traffic is unaffected.
+    allow_preemption: bool = True
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-range field (no side effects)."""
+        from repro.nn.paged import validate_kv_config
+
+        if self.max_batch_rows <= 0:
+            raise ValueError(
+                f"max_batch_rows must be positive, got {self.max_batch_rows}"
+            )
+        if self.admit_deadline < 0:
+            raise ValueError(
+                f"admit_deadline must be >= 0, got {self.admit_deadline}"
+            )
+        if not 0 < self.min_admit_rows <= self.max_batch_rows:
+            raise ValueError(
+                f"min_admit_rows must lie in [1, max_batch_rows], "
+                f"got {self.min_admit_rows}"
+            )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
+            raise ValueError(
+                f"prefill_chunk_tokens must be positive, "
+                f"got {self.prefill_chunk_tokens}"
+            )
+        validate_kv_config(self.kv_layout, self.kv_dtype)
+        if self.draft_k <= 0:
+            raise ValueError(f"draft_k must be positive, got {self.draft_k}")
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_kwargs(
+        cls,
+        kwargs: dict,
+        *,
+        base: "EngineConfig | None" = None,
+        owner: str = "engine",
+        warn: bool = True,
+    ) -> "EngineConfig":
+        """Fold legacy engine keyword arguments into a config.
+
+        ``kwargs`` is consumed destructively (recognised keys are popped) so
+        callers can forward the remainder; unknown keys raise ``TypeError``
+        exactly like a misspelled keyword argument used to.  Passing any
+        legacy key alongside an explicit ``base`` config is ambiguous and
+        raises; with no legacy keys the ``base`` (or the defaults) is
+        returned unchanged and nothing is warned.
+        """
+        legacy = {k: kwargs.pop(k) for k in _LEGACY_FIELDS if k in kwargs}
+        if kwargs:
+            unknown = ", ".join(sorted(kwargs))
+            raise TypeError(f"{owner} got unexpected keyword arguments: {unknown}")
+        if not legacy:
+            return base if base is not None else cls()
+        if base is not None:
+            raise TypeError(
+                f"{owner} got both config= and legacy keyword arguments "
+                f"({', '.join(sorted(legacy))}); pass one or the other"
+            )
+        if warn:
+            warnings.warn(
+                f"passing {', '.join(sorted(legacy))} directly to the {owner} "
+                f"is deprecated; pass config=EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return cls(**legacy)
+
+    # ------------------------------------------------------------------ #
+    def resolve_draft_model(self):
+        """The drafter as a live model, loading registry names on demand."""
+        if self.draft_model is None or not isinstance(self.draft_model, str):
+            return self.draft_model
+        from repro.models.registry import default_registry
+
+        return default_registry().load_decoder(self.draft_model)
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Serialise to a JSON object string (declarative config files).
+
+        A live in-process drafter model cannot be serialised — use the
+        registry-name form for declarative configs.
+        """
+        payload = dataclasses.asdict(self)
+        draft = payload["draft_model"]
+        if draft is not None and not isinstance(draft, str):
+            raise ValueError(
+                "draft_model holds a live model instance; only registry-name "
+                "drafters serialise to JSON"
+            )
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineConfig":
+        """Parse a JSON object into a validated config.
+
+        Unknown keys raise (a typo in a config file must not silently
+        become a default), and every field is validated as usual.
+        """
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError(f"engine config JSON must be an object, got {payload!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown engine config keys: {', '.join(unknown)}")
+        return cls(**payload)

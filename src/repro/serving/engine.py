@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.models.decoder import DecodeBatch, DecodeState, DecoderLM
+from repro.serving.config import EngineConfig
 from repro.serving.pool import PrefixCachePool
 from repro.serving.scheduler import SchedulerStats
 from repro.utils.rng import new_rng
@@ -92,6 +93,25 @@ class EngineRequest:
     request_id: int
     state: DecodeState
     submitted_at: float
+    #: Larger values are served first; within a priority class, earlier
+    #: deadlines first, then submit order.  The default 0 keeps plain
+    #: traffic strictly FIFO.
+    priority: int = 0
+    #: Optional absolute engine-clock deadline steering admission order.
+    #: Enforcement (timeout cancellation) stays with the front end that
+    #: set it — the engine only uses it to sort the queue.
+    deadline: float | None = None
+    #: Times this request was preempted mid-decode (victim of a higher
+    #: priority arrival) and returned to the queue.
+    preemptions: int = 0
+    #: Length of the originally submitted prompt.  A preempted request
+    #: resumes with its decoded-so-far tokens as the new state's prompt,
+    #: so ``state.prompt_ids`` grows across preemptions; SLA accounting
+    #: and token streaming measure generation against this stable origin.
+    prompt_len: int = 0
+    #: Prompt ids of the pinned pool entry holding this request's decoded
+    #: prefix while it waits to resume (``None`` when not preempted).
+    _pinned_ids: np.ndarray | None = None
     admitted_at: float | None = None
     #: Total prompt-forward time.  Under chunked prefill this *accumulates*
     #: across the steps the prompt was consumed in, so the timing identity
@@ -110,6 +130,9 @@ class EngineRequest:
 
     @property
     def prompt_ids(self) -> np.ndarray:
+        """The originally submitted prompt (stable across preemptions)."""
+        if self.prompt_len:
+            return self.state.prompt_ids[: self.prompt_len]
         return self.state.prompt_ids
 
     @property
@@ -129,9 +152,21 @@ class EngineRequest:
         Equals the engine iterations it decoded through under plain
         stepping; a speculative engine emits up to ``draft_k + 1`` tokens
         per iteration, so this stays the *token* count (the quantity SLA
-        math and throughput reports care about).
+        math and throughput reports care about).  Stable across
+        preemptions: tokens decoded before a preemption live in the
+        resumed state's prompt and still count.
         """
-        return self.state.gen_len
+        return (len(self.state.prompt_ids) - self.prompt_len) + self.state.gen_len
+
+    def generated_ids(self) -> np.ndarray:
+        """All tokens generated since submission (stable across preemptions)."""
+        state = self.state
+        return np.concatenate(
+            [
+                np.asarray(state.prompt_ids[self.prompt_len :], dtype=np.int64),
+                np.asarray(state.generated[: state.gen_len], dtype=np.int64),
+            ]
+        )
 
     @property
     def queue_seconds(self) -> float | None:
@@ -180,6 +215,12 @@ class EngineStats(SchedulerStats):
     #: expired per-request deadline).  Both also count toward ``finished``.
     cancelled: int = 0
     timeouts: int = 0
+    #: Priority scheduling: rows retired mid-decode to make room for a
+    #: strictly higher-priority arrival, and how many of those requests
+    #: have since re-entered the live batch (resumed from their pinned
+    #: pool entry).  Neither counts toward ``finished``.
+    preemptions: int = 0
+    resumes: int = 0
     #: Async front-end counters (stamped by :class:`~repro.serving.aio
     #: .AsyncEngine`): how often the stepping thread parked with no work,
     #: how often it was woken, and the deepest the submission queue got.
@@ -273,6 +314,8 @@ class EngineStats(SchedulerStats):
             "accept_rate": self.accept_rate,
             "cancelled": self.cancelled,
             "timeouts": self.timeouts,
+            "preemptions": self.preemptions,
+            "resumes": self.resumes,
             "parks": self.parks,
             "wakeups": self.wakeups,
             "peak_queue_depth": self.peak_queue_depth,
@@ -312,48 +355,37 @@ class ContinuousBatchingEngine:
         self,
         model: DecoderLM,
         *,
-        max_batch_rows: int = 8,
+        config: EngineConfig | None = None,
         cache_pool: PrefixCachePool | None = None,
-        admit_deadline: float = 0.0,
-        min_admit_rows: int = 1,
-        prefill_chunk_tokens: int | None = None,
         clock=time.perf_counter,
         rng: np.random.Generator | int | None = None,
-        kv_layout: str = "dense",
-        kv_dtype: str = "fp32",
-        draft_model: DecoderLM | None = None,
-        draft_k: int = 4,
+        **legacy,
     ) -> None:
-        if max_batch_rows <= 0:
-            raise ValueError(f"max_batch_rows must be positive, got {max_batch_rows}")
-        if admit_deadline < 0:
-            raise ValueError(f"admit_deadline must be >= 0, got {admit_deadline}")
-        if not 0 < min_admit_rows <= max_batch_rows:
-            raise ValueError(
-                f"min_admit_rows must lie in [1, max_batch_rows], got {min_admit_rows}"
-            )
-        if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
-            raise ValueError(
-                f"prefill_chunk_tokens must be positive, got {prefill_chunk_tokens}"
-            )
+        # All tunables travel in one validated, immutable EngineConfig;
+        # legacy keyword arguments (max_batch_rows=..., kv_layout=..., ...)
+        # keep working through from_kwargs, which warns and folds them in.
+        config = EngineConfig.from_kwargs(
+            legacy, base=config, owner="ContinuousBatchingEngine"
+        )
+        self.config = config
         self.model = model
-        self.max_batch_rows = max_batch_rows
+        self.max_batch_rows = config.max_batch_rows
         self.cache_pool = cache_pool
-        self.admit_deadline = admit_deadline
+        self.admit_deadline = config.admit_deadline
         #: KV storage of the live batch: ``"dense"`` (rectangular buffers)
         #: or ``"paged"`` (ref-counted block tables; ``kv_dtype="int8"``
         #: quantizes the block store).  Greedy outputs are identical across
         #: layouts; paged admission/retirement are table edits and
         #: compaction is free.
-        self.kv_layout = kv_layout
-        self.kv_dtype = kv_dtype
+        self.kv_layout = config.kv_layout
+        self.kv_dtype = config.kv_dtype
         #: Admission-group batching: while the batch is running, hold queued
         #: requests until this many can be admitted *together*, amortising
         #: the prefill forward.  1 = admit eagerly.  The hold is bounded: a
         #: straggler is released after ``min_admit_rows`` held decode steps
         #: (or past ``admit_deadline``), never starved until the batch
         #: drains.
-        self.min_admit_rows = min_admit_rows
+        self.min_admit_rows = config.min_admit_rows
         #: Per-step prefill token budget (Sarathi-style chunked prefill).
         #: When set, admissions enter the batch immediately in a
         #: ``prefilling`` state and each scheduling step consumes at most
@@ -362,8 +394,14 @@ class ContinuousBatchingEngine:
         #: in-flight decodes for its whole length.  ``None`` keeps the
         #: atomic (one-forward) prefill path.
         self.prefill_chunk_tokens = (
-            None if prefill_chunk_tokens is None else int(prefill_chunk_tokens)
+            None
+            if config.prefill_chunk_tokens is None
+            else int(config.prefill_chunk_tokens)
         )
+        #: Whether a full batch may retire its lowest-priority decoding row
+        #: to make room for a strictly higher-priority arrival.  Equal
+        #: priorities never preempt, so all-default traffic is untouched.
+        self.allow_preemption = config.allow_preemption
         self._held_steps = 0
         self.clock = clock
         self.rng = new_rng(rng)
@@ -374,17 +412,18 @@ class ContinuousBatchingEngine:
         #: token-identical to plain stepping, the drafter only buys
         #: throughput.  Accept-rate counters land in :class:`EngineStats`.
         self.speculative = None
+        draft_model = config.resolve_draft_model()
         if draft_model is not None:
             from repro.serving.speculative import SpeculativeDecoder
 
             self.speculative = SpeculativeDecoder(
-                model, draft_model, draft_k=draft_k
+                model, draft_model, draft_k=config.draft_k
             )
         self.batch = DecodeBatch(
             model,
             capacity=model.config.max_position,
-            kv_layout=kv_layout,
-            kv_dtype=kv_dtype,
+            kv_layout=self.kv_layout,
+            kv_dtype=self.kv_dtype,
         )
         self._queue: deque[EngineRequest] = deque()
         self._live: dict[int, EngineRequest] = {}  # id(state) -> request
@@ -412,13 +451,18 @@ class ContinuousBatchingEngine:
         temperature: float = 0.0,
         stop_ids: set[int] | None = None,
         submitted_at: float | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> EngineRequest:
         """Queue a generation request; it joins the live batch between steps.
 
         ``submitted_at`` (engine-clock time) backdates the queue-time stamp
         for front ends that held the request before handing it over — the
         async engine's inbox dwell would otherwise be invisible to the
-        queue/TTFT SLA timings.
+        queue/TTFT SLA timings.  ``priority`` (larger = more urgent) and
+        ``deadline`` (absolute engine-clock time) steer admission order;
+        a strictly higher-priority arrival may also preempt a decoding row
+        when the batch is full (see :meth:`preempt`).
         """
         prompt = validate_prompt(self.model, prompt_ids)
         state = DecodeState(
@@ -431,6 +475,9 @@ class ContinuousBatchingEngine:
             request_id=self._next_id,
             state=state,
             submitted_at=self.clock() if submitted_at is None else float(submitted_at),
+            priority=int(priority),
+            deadline=None if deadline is None else float(deadline),
+            prompt_len=len(prompt),
         )
         self._next_id += 1
         self._queue.append(request)
@@ -577,11 +624,68 @@ class ContinuousBatchingEngine:
         self.stats.decode_steps.append(request.decode_steps)
         self.stats.chunks_per_request.append(request.prefill_chunks)
 
+    @staticmethod
+    def _admit_key(request: EngineRequest) -> tuple:
+        """Queue order: priority desc, then arrival, then deadline asc.
+
+        Arrival keeps same-priority traffic strictly FIFO (a request with a
+        tight deadline must not leapfrog earlier arrivals — that would turn
+        every timeout into a priority boost); the deadline orders requests
+        that arrived *together* (one submit_batch, one co-arriving inbox
+        drain), where FIFO has no opinion.
+        """
+        deadline = request.deadline if request.deadline is not None else float("inf")
+        return (-request.priority, request.submitted_at, deadline, request.request_id)
+
+    def _preemptible(self, request: EngineRequest) -> bool:
+        """Whether ``request`` is a decoding row worth preempting.
+
+        Prefilling slots are never preempted (their staging checkin is the
+        cancel path's job), and a row that would finish on its next step
+        anyway (budget or context exhausted) is cheaper to let retire.
+        """
+        state = request.state
+        if request.done or not state.admitted or state.finished:
+            return False
+        if state.gen_len >= state.max_new_tokens:
+            return False
+        return len(state.prompt_ids) + state.gen_len < self.model.config.max_position
+
+    def _preempt_for_queue(self) -> int:
+        """Preempt lowest-priority decoding rows for higher-priority waiters.
+
+        Frees exactly as many rows as there are queued requests with
+        priority *strictly* above the victim's — equal priorities never
+        preempt, so priority-less traffic can never thrash.  Returns the
+        number of rows preempted.
+        """
+        count = 0
+        while True:
+            victim = None
+            victim_key = None
+            for request in self._live.values():
+                if not self._preemptible(request):
+                    continue
+                key = (request.priority, request.state.gen_len, request.request_id)
+                if victim is None or key < victim_key:
+                    victim, victim_key = request, key
+            if victim is None:
+                return count
+            waiting = sum(1 for r in self._queue if r.priority > victim.priority)
+            free = self.max_batch_rows - self.batch.num_rows
+            if waiting == 0 or free >= waiting:
+                return count
+            self.preempt(victim)
+            count += 1
+
     def _admit_pending(self, force: bool) -> list[EngineRequest]:
         """Admit queued requests into free rows; returns any that finished
         during admission (unstartable requests take no row)."""
         if not self._queue:
             return []
+        preempted = 0
+        if self.allow_preemption and self.batch.num_rows >= self.max_batch_rows:
+            preempted = self._preempt_for_queue()
         if self.batch.num_rows == 0 and not force and self.admit_deadline > 0:
             # Idle engine: deadline-based batch closing.  Hold the queue open
             # until it can fill the batch or the oldest request's deadline
@@ -589,11 +693,18 @@ class ContinuousBatchingEngine:
             oldest_wait = self.clock() - self._queue[0].submitted_at
             if len(self._queue) < self.max_batch_rows and oldest_wait < self.admit_deadline:
                 return []
-        if self.batch.num_rows > 0 and not force and self.min_admit_rows > 1:
+        if (
+            self.batch.num_rows > 0
+            and not force
+            and preempted == 0
+            and self.min_admit_rows > 1
+        ):
             # Running engine: group small admissions so a stream of lone
             # arrivals does not pay one prefill forward per request.  The
             # hold is bounded in *steps* so a straggler joins after at most
-            # min_admit_rows iterations, not when the batch drains.
+            # min_admit_rows iterations, not when the batch drains.  A
+            # preemption bypasses the hold — the slot was freed *for* the
+            # waiter, holding it would defeat the eviction.
             free = self.max_batch_rows - self.batch.num_rows
             hold_lapsed = self._held_steps >= self.min_admit_rows or (
                 self.admit_deadline > 0
@@ -603,9 +714,23 @@ class ContinuousBatchingEngine:
                 self._held_steps += 1
                 return []
         self._held_steps = 0
-        group: list[EngineRequest] = []
-        while self._queue and self.batch.num_rows + len(group) < self.max_batch_rows:
-            group.append(self._queue.popleft())
+        free = self.max_batch_rows - self.batch.num_rows
+        if free <= 0:
+            return []
+        # Admission order is priority-aware: the queue stays a plain deque
+        # (submit order — cheap, and what the FIFO tiebreak wants) and the
+        # group is picked by sort key at admission time.
+        group = sorted(self._queue, key=self._admit_key)[:free]
+        for request in group:
+            self._queue.remove(request)
+            if request._pinned_ids is not None:
+                # A preempted request re-entering the batch: its pinned
+                # resume entry is about to be checked out by the normal
+                # admission path, so release the eviction pin first.
+                if self.cache_pool is not None:
+                    self.cache_pool.unpin(request._pinned_ids)
+                request._pinned_ids = None
+                self.stats.resumes += 1
         if not group:
             return []
         finished = self._admit_group(group)
@@ -665,6 +790,65 @@ class ContinuousBatchingEngine:
                 request.first_token_at = sampled_at
         return finished
 
+    def preempt(self, request: EngineRequest) -> bool:
+        """Retire a live decoding row at the step boundary and requeue it.
+
+        The row's decoded-so-far KV span is extracted into the prefix pool
+        as a batch-1 entry (under a paged layout this is a copy-on-write
+        table edit — the blocks are shared by reference, no bytes move) and
+        *pinned* against LRU eviction; the request re-enters the queue with
+        its tokens-so-far as the resume prompt and its remaining token
+        budget.  Re-admission checks the pinned entry out, unpins it, and
+        re-forwards only the final token — decoding continues bit-identical
+        to an unpreempted run.  Without a pool the resume re-prefills from
+        scratch: slower, still exact.
+
+        Returns ``False`` when the request is not currently a live decoding
+        row (queued, prefilling, or already finished).  Like :meth:`step`
+        and :meth:`cancel`, this mutates the live batch and must only be
+        called between steps by whoever owns the stepping loop.
+        """
+        state = request.state
+        if request.done or id(state) not in self._live or not state.admitted:
+            return False
+        tokens = state.output()
+        if self.cache_pool is not None and len(tokens) >= self.cache_pool.min_reuse_tokens:
+            # Extract the row's KV span [col_start, length) — exactly the
+            # keys/values of every token in `tokens` — into a standalone
+            # batch-1 cache, the same idiom admit_many uses to seed the
+            # pool from a cold group prefill.
+            clone = self.batch._make_cache(0, self.batch.capacity)
+            clone.admit_row(self.batch.cache, state.row, state.col_start)
+            # Repositioned, not recomputed: don't let checkin count the
+            # whole sequence as fresh prefill work.
+            clone.pool_reused_tokens = clone.length
+            self.cache_pool.checkin(tokens, clone)
+            self.cache_pool.pin(tokens)
+            request._pinned_ids = tokens
+        state.finished, state.finish_reason = True, "preempted"
+        self.batch.retire_finished()
+        self._live.pop(id(state))
+        request.preemptions += 1
+        self.stats.preemptions += 1
+        request.state = DecodeState(
+            prompt_ids=tokens,
+            max_new_tokens=state.max_new_tokens - state.gen_len,
+            temperature=state.temperature,
+            stop_ids=state.stop_ids,
+        )
+        self._queue.append(request)
+        self.stats.peak_queue_depth = max(
+            self.stats.peak_queue_depth, len(self._queue)
+        )
+        return True
+
+    def _release_pin(self, request: EngineRequest) -> None:
+        """Drop a preempted request's eviction pin (request leaving early)."""
+        if request._pinned_ids is not None:
+            if self.cache_pool is not None:
+                self.cache_pool.unpin(request._pinned_ids)
+            request._pinned_ids = None
+
     def cancel(self, request: EngineRequest, reason: str = "cancelled") -> bool:
         """Retire ``request`` at the current step boundary.
 
@@ -707,6 +891,7 @@ class ContinuousBatchingEngine:
             except ValueError:  # not queued here (already handed elsewhere)
                 return False
             state.finished, state.finish_reason = True, reason
+        self._release_pin(request)
         self._finish(request)
         if reason == "timeout":
             self.stats.timeouts += 1
@@ -716,6 +901,8 @@ class ContinuousBatchingEngine:
 
     def reset(self) -> None:
         """Drop all queued and live work (recovery after a fatal step error)."""
+        for request in self._queue:
+            self._release_pin(request)
         self._queue.clear()
         self._live.clear()
         self._held_steps = 0

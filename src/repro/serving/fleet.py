@@ -59,6 +59,7 @@ def _worker_main(conn, builder, engine_kwargs: dict, pool_kwargs: dict, seed: in
       ("done", rid, result, meta) / ("error", rid, msg) per request.
     """
     # Imports happen in the child so a spawn-started worker pays them itself.
+    from repro.serving.config import EngineConfig
     from repro.serving.engine import ContinuousBatchingEngine
     from repro.serving.pool import PrefixCachePool
 
@@ -66,7 +67,18 @@ def _worker_main(conn, builder, engine_kwargs: dict, pool_kwargs: dict, seed: in
         model = builder()
         model.eval()
         pool = PrefixCachePool(model, **pool_kwargs)
-        engine = ContinuousBatchingEngine(model, cache_pool=pool, rng=seed, **engine_kwargs)
+        # The parent ships either a ready EngineConfig or legacy kwargs;
+        # fold the latter without a deprecation warning (engine_kwargs is
+        # the fleet's own documented surface, warning here would spam one
+        # line per worker).
+        engine_kwargs = dict(engine_kwargs)
+        config = engine_kwargs.pop("config", None)
+        config = EngineConfig.from_kwargs(
+            engine_kwargs, base=config, owner="fleet worker", warn=False
+        )
+        engine = ContinuousBatchingEngine(
+            model, cache_pool=pool, rng=seed, config=config
+        )
     except Exception as exc:  # noqa: BLE001 - startup failure is reported whole
         try:
             conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
@@ -245,6 +257,7 @@ class ReplicaFleet:
         routing: str = "affinity",
         affinity_tokens: int = 32,
         spill_threshold: int | None = None,
+        config=None,
         engine_kwargs: dict | None = None,
         pool_kwargs: dict | None = None,
         start_method: str | None = None,
@@ -261,7 +274,20 @@ class ReplicaFleet:
         pool_kwargs = dict(pool_kwargs or {})
         if "cache_pool" in engine_kwargs:
             raise ValueError("each worker builds its own pool; pass pool_kwargs instead")
-        max_batch_rows = engine_kwargs.get("max_batch_rows", 8)
+        if config is not None:
+            # One validated EngineConfig for every worker's engine.  It is
+            # validated here, in the parent, so a bad config fails before N
+            # processes spawn; it crosses the process boundary by pickle
+            # (a draft model must therefore be a registry *name*, not a
+            # live model instance).
+            if engine_kwargs:
+                raise ValueError(
+                    "pass either config= or engine_kwargs, not both"
+                )
+            engine_kwargs["config"] = config
+            max_batch_rows = config.max_batch_rows
+        else:
+            max_batch_rows = engine_kwargs.get("max_batch_rows", 8)
         if spill_threshold is None:
             spill_threshold = 2 * max_batch_rows
         if spill_threshold <= 0:

@@ -144,6 +144,8 @@ class PrefixCachePool:
         self.kv_dtype = kv_dtype
         self.stats = PoolStats()
         self._entries: OrderedDict[int, _PoolEntry] = OrderedDict()
+        #: Keys of entries protected from LRU eviction (see :meth:`pin`).
+        self._pinned: set[int] = set()
         self._lock = threading.RLock()
 
     def _new_cache(self):
@@ -193,6 +195,61 @@ class PrefixCachePool:
         """Drop every pooled cache (stats are kept)."""
         with self._lock:
             self._entries.clear()
+            self._pinned.clear()
+
+    # ------------------------------------------------------------------ #
+    # eviction pinning (preempted-request resume state)
+    # ------------------------------------------------------------------ #
+    def pin(self, prompt_ids: np.ndarray) -> bool:
+        """Protect the entry stored under exactly ``prompt_ids`` from eviction.
+
+        The continuous-batching engine pins the entry holding a preempted
+        request's decoded-so-far KV: the request *will* come back for it,
+        so LRU pressure from unrelated traffic must not drop it while the
+        request waits in the queue.  Returns ``False`` when no entry is
+        stored under that exact prefix.  A pin is cleared by :meth:`unpin`,
+        by a :meth:`checkout` that consumes the entry, or by :meth:`clear`.
+        """
+        key = self._key(np.asarray(prompt_ids, dtype=np.int64).ravel())
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._pinned.add(key)
+            return True
+
+    def unpin(self, prompt_ids: np.ndarray) -> bool:
+        """Release a pin (idempotent); returns whether one was held."""
+        key = self._key(np.asarray(prompt_ids, dtype=np.int64).ravel())
+        with self._lock:
+            if key not in self._pinned:
+                return False
+            self._pinned.discard(key)
+            return True
+
+    @property
+    def pinned_entries(self) -> int:
+        with self._lock:
+            return len(self._pinned)
+
+    def _evict_over_budget(self) -> None:
+        """Evict least-recently-used *unpinned* entries until within the
+        entry-count and byte budgets (caller holds the lock).
+
+        Pinned entries are skipped: dropping a preempted request's resume
+        state would silently convert its nearly-free resume into a full
+        re-prefill, so the pool prefers running temporarily over budget.
+        When everything still over budget is pinned, eviction stops.
+        """
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and len(self._entries) > 1
+            and self._resident_bytes() > self.max_bytes
+        ):
+            victim = next((k for k in self._entries if k not in self._pinned), None)
+            if victim is None:
+                return
+            self._entries.pop(victim)
+            self.stats.evictions += 1
 
     def kv_bytes(self) -> int:
         """Resident KV bytes across pooled entries.
@@ -272,6 +329,9 @@ class PrefixCachePool:
                 # it): hand the cache over and let checkin re-add the longer
                 # prefill.
                 self._entries.pop(best_key)
+                # A consumed entry takes its pin with it: the caller now
+                # owns the cache, so there is nothing left to protect.
+                self._pinned.discard(best_key)
                 cache = entry.cache
                 cache.truncate(min(best_common, cache.length))
             else:
@@ -318,13 +378,7 @@ class PrefixCachePool:
             reused = getattr(cache, "pool_reused_tokens", 0)
             self.stats.tokens_prefilled += max(int(cache.length) - int(reused), 0)
             cache.pool_reused_tokens = 0
-            while len(self._entries) > self.max_entries or (
-                self.max_bytes is not None
-                and len(self._entries) > 1
-                and self._resident_bytes() > self.max_bytes
-            ):
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._evict_over_budget()
 
     # ------------------------------------------------------------------ #
     # entry serialization (fleet migration, disk warm-start)
@@ -422,13 +476,7 @@ class PrefixCachePool:
         with self._lock:
             self._entries.pop(key, None)
             self._entries[key] = _PoolEntry(ids=ids, cache=cache)
-            while len(self._entries) > self.max_entries or (
-                self.max_bytes is not None
-                and len(self._entries) > 1
-                and self._resident_bytes() > self.max_bytes
-            ):
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._evict_over_budget()
         return int(len(ids))
 
     def import_entries(self, blobs) -> int:

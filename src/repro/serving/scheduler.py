@@ -91,20 +91,30 @@ class BatchScheduler:
         self,
         model: DecoderLM,
         *,
-        max_batch_size: int = 8,
+        max_batch_size: int | None = None,
         cache_pool: PrefixCachePool | None = None,
         rng: np.random.Generator | int | None = None,
-        kv_layout: str = "dense",
-        kv_dtype: str = "fp32",
+        config=None,
+        **legacy,
     ) -> None:
-        # Deferred import: the engine module subclasses SchedulerStats.
+        # Deferred imports: the engine module subclasses SchedulerStats.
         from repro.serving.aio import AsyncEngine
+        from repro.serving.config import EngineConfig
 
-        if max_batch_size <= 0:
+        if max_batch_size is not None and max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        config = EngineConfig.from_kwargs(legacy, base=config, owner="BatchScheduler")
+        if max_batch_size is not None:
+            # max_batch_size is this adapter's own documented knob (it maps
+            # onto max_batch_rows), not a deprecated alias — fold it in
+            # without a warning.
+            config = config.replace(max_batch_rows=int(max_batch_size))
+        self.config = config
         self.model = model
-        self.max_batch_size = max_batch_size
-        self.cache_pool = cache_pool or PrefixCachePool.default(model, kv_layout, kv_dtype)
+        self.max_batch_size = config.max_batch_rows
+        self.cache_pool = cache_pool or PrefixCachePool.default(
+            model, config.kv_layout, config.kv_dtype
+        )
         self.rng = new_rng(rng)
         self.stats = SchedulerStats()
         #: The async front-end every flush runs through; its background
@@ -112,11 +122,9 @@ class BatchScheduler:
         #: stream and prefix-cache pool.
         self.aio = AsyncEngine(
             model,
-            max_batch_rows=max_batch_size,
+            config=config,
             cache_pool=self.cache_pool,
             rng=self.rng,
-            kv_layout=kv_layout,
-            kv_dtype=kv_dtype,
         )
         #: The iteration-level decode engine under the async front-end
         #: (kept as a direct attribute for callers that drive admission
