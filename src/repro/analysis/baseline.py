@@ -1,0 +1,100 @@
+"""Committed-baseline workflow for accepted findings.
+
+A baseline entry records one *deliberately accepted* finding by its
+line-number-free fingerprint plus a human justification, so pre-existing
+accepted findings never block CI while every **new** violation does.  The
+workflow:
+
+1. ``python -m repro.analysis --check src/`` fails on a new finding.
+2. Fix it (the default), suppress it inline with ``# lint: allow RPRxxx —
+   reason`` (point exemptions), or — for a pre-existing accepted surface —
+   run ``--write-baseline`` and fill in the entry's ``justification``.
+3. The baseline only ever shrinks as debt is paid: entries that no longer
+   match anything are reported as stale so they can be deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+class Baseline:
+    """Fingerprint-keyed set of accepted findings with justifications."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries: dict[str, dict] = {}
+        for entry in entries or []:
+            self.entries[entry["fingerprint"]] = dict(entry)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise ValueError(f"{path}: unsupported baseline format")
+        entries = payload.get("entries", [])
+        for entry in entries:
+            if "fingerprint" not in entry:
+                raise ValueError(f"{path}: baseline entry missing a fingerprint")
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": 1,
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (e.get("path", ""), e.get("rule", ""), e["fingerprint"]),
+            ),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------ #
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Split findings into (new, baselined); also return stale entries.
+
+        Stale entries (nothing matched them this run) are advisory: a
+        subset run — one file, the fixture tree — legitimately misses most
+        of the baseline, so staleness warns instead of failing.
+        """
+        matched: set[str] = set()
+        fresh: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                matched.add(finding.fingerprint)
+                accepted.append(finding)
+            else:
+                fresh.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in self.entries.items()
+            if fingerprint not in matched
+        ]
+        return fresh, accepted, stale
+
+    def absorb(self, findings: list[Finding]) -> None:
+        """Record ``findings``, keeping justifications of kept entries."""
+        fresh: dict[str, dict] = {}
+        for finding in findings:
+            previous = self.entries.get(finding.fingerprint, {})
+            fresh[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "summary": finding.message,
+                "justification": previous.get(
+                    "justification", "TODO: justify this exemption"
+                ),
+            }
+        self.entries = fresh

@@ -1,0 +1,135 @@
+"""``python -m repro.analysis`` — the project-invariant lint front door.
+
+Exit codes: 0 = clean (every finding fixed, inline-allowed or baselined),
+1 = unbaselined findings or unparseable files, 2 = usage error.  ``--check``
+is the explicit CI-gate spelling: behaviourally identical to the default
+run except that it refuses to be combined with ``--write-baseline`` (a
+gate must never rewrite its own goalposts).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.lint import run_paths
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import all_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis (invariants, not style "
+        "— style lives in ruff; see docs/analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyse (default: src/)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="explicit CI gate mode (same semantics; forbids --write-baseline)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.id in wanted]
+    if args.check and args.write_baseline:
+        parser.error("--check is a gate; it cannot rewrite the baseline")
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    try:
+        findings, errors = run_paths(paths, rules)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        if Path(DEFAULT_BASELINE_NAME).is_file():
+            baseline_path = DEFAULT_BASELINE_NAME
+    if args.no_baseline:
+        baseline_path = None if not args.write_baseline else baseline_path
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        baseline = (
+            Baseline.load(target) if Path(target).is_file() else Baseline()
+        )
+        baseline.absorb(findings)
+        baseline.save(target)
+        print(
+            f"wrote {len(findings)} finding(s) to {target}; fill in every "
+            "'justification' before committing"
+        )
+        return 0
+
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            parser.error(f"cannot load baseline: {exc}")
+        fresh, accepted, stale = baseline.partition(findings)
+    else:
+        fresh, accepted, stale = findings, [], []
+
+    render = render_json if args.format == "json" else render_text
+    print(render(fresh, accepted, stale, errors))
+    return 1 if fresh or errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

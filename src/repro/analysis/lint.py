@@ -1,0 +1,381 @@
+"""AST lint framework for project-specific invariants.
+
+The serving stack's worst historical bugs were invariant violations a
+machine could have caught: the salted builtin ``hash()`` broke
+cross-process keys twice (registry model seeds, pool prefix keys), module
+-global grad mode was corrupted across threads, and duplicate
+``retire_rows`` indices silently corrupted row↔request bindings.  This
+module is the enforcement half: a small, dependency-free (stdlib ``ast`` +
+``tokenize``) framework that parses each source file once, extracts the
+project's annotation conventions from comments, and hands the parse to a
+set of :class:`Rule` objects that yield :class:`Finding`\\ s.
+
+Annotation conventions (see ``docs/analysis.md``):
+
+``# guarded-by: <lock-expr>``
+    On an attribute assignment (``self._entries = ... # guarded-by:
+    self._lock``) or module-global assignment: the name may only be
+    touched inside ``with <lock-expr>:``.  On a ``def`` line: the
+    function's *callers* hold the lock, so its body counts as guarded.
+
+``# table-edit``
+    On a ``def`` line: the function edits block tables / bookkeeping only
+    and must never copy array data (``np.concatenate``, ``.copy()``, …).
+
+``# lint: allow RPR001[, RPR002...] — reason``
+    Suppress the named rules on this line (or the line below, for
+    annotations placed on their own line).  Always attach a reason.
+
+Style/formatting checks stay in ruff (configured in ``pyproject.toml``);
+this framework hosts *semantic project invariants* only, so the two tools
+never double-report.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "collect_files",
+    "run_paths",
+]
+
+# Annotations are whole-comment markers, anchored at the comment start so
+# prose that merely *mentions* an annotation (docs, this module) is inert.
+_ALLOW_RE = re.compile(r"^#\s*lint:\s*allow\s+([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)")
+_GUARDED_RE = re.compile(r"^#\s*guarded-by:\s*([^\s#]+)")
+_TABLE_EDIT_RE = re.compile(r"^#\s*table-edit\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``key`` is a line-number-free identity (rule + path + semantic anchor
+    such as ``Class.method:attribute``), so the fingerprint survives
+    unrelated edits shifting the file — the property the committed
+    baseline depends on.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    key: str
+
+    @property
+    def fingerprint(self) -> str:
+        raw = f"{self.rule}|{Path(self.path).as_posix()}|{self.key}"
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:12]
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class SourceFile:
+    """One parsed module: AST plus the comment annotations rules consume."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        #: line -> set of rule ids suppressed there.
+        self.allowed: dict[int, set[str]] = {}
+        #: line -> lock expression string from ``# guarded-by:``.
+        self.guards: dict[int, str] = {}
+        #: lines carrying ``# table-edit``.
+        self.table_edit_lines: set[int] = set()
+        #: comment lines that are *stand-alone* (no code on the line) —
+        #: only these annotate the statement on the following line, so a
+        #: trailing annotation never leaks onto its successor.
+        self.standalone_comment_lines: set[int] = set()
+        self._scan_comments()
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SourceFile":
+        path = Path(path)
+        return cls(str(path), path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------ #
+    def _scan_comments(self) -> None:
+        comments: list[tuple[int, str]] = []
+        code_lines: set[int] = set()
+        skip = (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        )
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(self.text).readline):
+                if tok.type == tokenize.COMMENT:
+                    comments.append((tok.start[0], tok.string))
+                elif tok.type not in skip:
+                    code_lines.update(range(tok.start[0], tok.end[0] + 1))
+        except tokenize.TokenError:  # pragma: no cover - ast.parse succeeded
+            pass
+        for line, comment in comments:
+            if line not in code_lines:
+                self.standalone_comment_lines.add(line)
+            match = _ALLOW_RE.search(comment)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",")}
+                self.allowed.setdefault(line, set()).update(rules)
+            match = _GUARDED_RE.search(comment)
+            if match:
+                self.guards[line] = match.group(1)
+            if _TABLE_EDIT_RE.search(comment):
+                self.table_edit_lines.add(line)
+
+    # ------------------------------------------------------------------ #
+    # annotation lookups
+    # ------------------------------------------------------------------ #
+    def is_allowed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed at ``line`` (same line, or a
+        stand-alone allow comment on the line above)."""
+        if rule in self.allowed.get(line, ()):
+            return True
+        return line - 1 in self.standalone_comment_lines and rule in self.allowed.get(
+            line - 1, ()
+        )
+
+    def guard_at(self, node: ast.AST) -> str | None:
+        """The ``guarded-by`` lock expression annotating ``node``, if any.
+
+        Checked on the node's first line, the line above it (stand-alone
+        annotation comments), and — for statements whose value spans
+        several lines — the statement's last line.
+        """
+        lines = [node.lineno]
+        if node.lineno - 1 in self.standalone_comment_lines:
+            lines.append(node.lineno - 1)
+        end = getattr(node, "end_lineno", None)
+        if end is not None and end != node.lineno:
+            lines.append(end)
+        for line in lines:
+            guard = self.guards.get(line)
+            if guard is not None:
+                return guard
+        return None
+
+    def is_table_edit(self, node: ast.AST) -> bool:
+        if node.lineno in self.table_edit_lines:
+            return True
+        return (
+            node.lineno - 1 in self.standalone_comment_lines
+            and node.lineno - 1 in self.table_edit_lines
+        )
+
+    # ------------------------------------------------------------------ #
+    # structural helpers shared by rules
+    # ------------------------------------------------------------------ #
+    def qualname_of(self, node: ast.AST) -> str:
+        """Dotted class/function path enclosing ``node`` (``<module>`` at top)."""
+        if self._parents is None:
+            self._parents = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        parts: list[str] = []
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                parts.append(current.name)
+            current = self._parents.get(current)
+        return ".".join(reversed(parts)) or "<module>"
+
+    def imports_module(self, name: str) -> bool:
+        """Whether the file imports ``name`` (``import x`` / ``from x import``)."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name.split(".")[0] == name for alias in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None and node.module.split(".")[0] == name:
+                    return True
+        return False
+
+    def mentions(self, identifier: str) -> bool:
+        """Whether ``identifier`` appears as a Name or attribute anywhere."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Name) and node.id == identifier:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == identifier:
+                return True
+            if isinstance(node, ast.ImportFrom) and any(
+                alias.name == identifier for alias in node.names
+            ):
+                return True
+        return False
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title`` and implement ``check``."""
+
+    id: str = "RPR000"
+    title: str = ""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def finding(
+        self, src: SourceFile, node: ast.AST, message: str, key: str
+    ) -> Finding | None:
+        """Build a finding unless an inline ``lint: allow`` suppresses it."""
+        line = getattr(node, "lineno", 1)
+        if src.is_allowed(self.id, line):
+            return None
+        return Finding(rule=self.id, path=src.path, line=line, message=message, key=key)
+
+
+# ---------------------------------------------------------------------- #
+# lock-hold tracking (shared by the lock-discipline rules)
+# ---------------------------------------------------------------------- #
+@dataclass
+class LockWalk:
+    """Walk a function body tracking which lock expressions are held.
+
+    ``aliases`` maps a lock-like expression onto the lock it also acquires
+    (``self._work -> self._lock`` for ``self._work = threading.Condition(
+    self._lock)``), so ``with self._work:`` counts as holding both.
+
+    Comprehension bodies inherit the held set (they run immediately at the
+    ``with`` site); nested ``def``/``lambda`` bodies do **not** — a closure
+    created under the lock typically runs after it is released, which is
+    exactly the bug class the rule exists to catch.
+    """
+
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def walk(
+        self,
+        node: ast.AST,
+        held: frozenset[str],
+        visit,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._walk_one(child, held, visit)
+
+    def _walk_one(self, node: ast.AST, held: frozenset[str], visit) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                expr = ast.unparse(item.context_expr)
+                acquired.add(expr)
+                if expr in self.aliases:
+                    acquired.add(self.aliases[expr])
+            inner = held | acquired
+            for item in node.items:
+                self._walk_one(item.context_expr, held, visit)
+            for stmt in node.body:
+                self._walk_one(stmt, inner, visit)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function/lambda body executes later, without the
+            # enclosing with-block's locks.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                self._walk_one(stmt, frozenset(), visit)
+            return
+        visit(node, held)
+        self.walk(node, held, visit)
+
+
+def condition_aliases(cls: ast.ClassDef) -> dict[str, str]:
+    """``self.X = threading.Condition(self.Y)`` assignments in a class body."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Call) and value.args):
+            continue
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name == "Condition":
+            aliases[ast.unparse(target)] = ast.unparse(value.args[0])
+    return aliases
+
+
+# ---------------------------------------------------------------------- #
+# runner
+# ---------------------------------------------------------------------- #
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.update(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    # Fingerprints include the path, so normalise to repo-relative (cwd)
+    # form: `--check src/` and `--check /abs/path/src/` must agree.
+    cwd = Path.cwd()
+    normalised = set()
+    for path in out:
+        try:
+            normalised.add(path.absolute().relative_to(cwd))
+        except ValueError:
+            normalised.add(path)
+    return sorted(normalised)
+
+
+def run_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule],
+) -> tuple[list[Finding], list[str]]:
+    """Run ``rules`` over every ``.py`` file under ``paths``.
+
+    Returns ``(findings, errors)``; a file that fails to parse lands in
+    ``errors`` instead of crashing the run (syntax errors are ruff/CI
+    compile territory, not invariant territory).
+    """
+    findings: list[Finding] = []
+    errors: list[str] = []
+    rules = list(rules)
+    for path in collect_files(paths):
+        try:
+            src = SourceFile.load(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        for rule in rules:
+            findings.extend(f for f in rule.check(src) if f is not None)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, errors

@@ -1,0 +1,61 @@
+"""Text and JSON reporters for analysis findings."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    fresh: list[Finding],
+    accepted: list[Finding],
+    stale: list[dict],
+    errors: list[str],
+) -> str:
+    """Human-readable report: one line per finding, linter style."""
+    lines: list[str] = []
+    for finding in fresh:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} "
+            f"[{finding.fingerprint}] {finding.message}"
+        )
+    for error in errors:
+        lines.append(f"error: {error}")
+    for entry in stale:
+        lines.append(
+            f"warning: stale baseline entry {entry['fingerprint']} "
+            f"({entry.get('rule', '?')} in {entry.get('path', '?')}) matched "
+            "nothing — delete it once the fix is confirmed"
+        )
+    summary = (
+        f"{len(fresh)} finding(s)"
+        + (f", {len(accepted)} baselined" if accepted else "")
+        + (f", {len(stale)} stale baseline entr(y/ies)" if stale else "")
+        + (f", {len(errors)} file error(s)" if errors else "")
+    )
+    lines.append(summary if fresh or errors else f"OK: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(
+    fresh: list[Finding],
+    accepted: list[Finding],
+    stale: list[dict],
+    errors: list[str],
+) -> str:
+    """Machine-readable report (stable field names; one JSON object)."""
+    return json.dumps(
+        {
+            "version": 1,
+            "findings": [f.as_dict() for f in fresh],
+            "baselined": [f.as_dict() for f in accepted],
+            "stale_baseline_entries": stale,
+            "errors": errors,
+            "ok": not fresh and not errors,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -35,6 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.sanitize import block_allocator_class, maybe_watch_lock
 from repro.models.config import ModelConfig
 from repro.nn import Dropout, Embedding, KVCache, Module, TransformerDecoder
 from repro.nn.paged import (
@@ -59,7 +60,7 @@ __all__ = [
 
 #: Guards lazy creation of per-model block allocators (submission threads
 #: and stepping threads may race to build the first paged cache).
-_PAGED_ALLOCATOR_LOCK = threading.Lock()
+_PAGED_ALLOCATOR_LOCK = maybe_watch_lock("allocator-registry", threading.Lock())
 
 
 def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
@@ -725,7 +726,9 @@ class DecoderLM(Module):
             allocators = self.__dict__.setdefault("_paged_allocators", {})
             if key not in allocators:
                 attention = self.decoder.layers[0].attention
-                allocators[key] = BlockAllocator(
+                # The auditing BlockSanitizer subclass under
+                # REPRO_SANITIZE=1, the plain BlockAllocator otherwise.
+                allocators[key] = block_allocator_class()(
                     attention.num_heads,
                     attention.head_dim,
                     block_size=block_size,

@@ -82,6 +82,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitize import maybe_watch_lock
 from repro.nn.serialization import pack, unpack
 
 __all__ = [
@@ -155,23 +156,24 @@ class BlockAllocator:
         # the bookkeeping: _grow_storage rebinds the storage arrays, so an
         # unlocked writer could otherwise land its data in an orphaned array
         # while another thread's alloc() grows the pool.
-        self._lock = threading.RLock()
-        self._free: list[int] = []
-        self._refcounts = np.zeros(0, dtype=np.int64)
+        self._lock = maybe_watch_lock("allocator", threading.RLock())
+        self._free: list[int] = []  # guarded-by: self._lock
+        self._refcounts = np.zeros(0, dtype=np.int64)  # guarded-by: self._lock
         store = np.float32 if kv_dtype == "fp32" else np.int8
         # Heads-first storage, blocks on axis 1: a row gather is then one
         # contiguous fancy-index (``storage[:, table]``) whose reshape to
         # (heads, positions, head_dim) is free — no transpose copy.
-        self._keys = np.zeros((num_heads, 0, block_size, head_dim), dtype=store)
-        self._values = np.zeros((num_heads, 0, block_size, head_dim), dtype=store)
+        # _grow_storage rebinds these arrays, so readers need the lock too.
+        self._keys = np.zeros((num_heads, 0, block_size, head_dim), dtype=store)  # guarded-by: self._lock
+        self._values = np.zeros((num_heads, 0, block_size, head_dim), dtype=store)  # guarded-by: self._lock
         if kv_dtype == "int8":
-            self._key_scales = np.zeros((num_heads, 0, block_size), dtype=np.float32)
-            self._value_scales = np.zeros((num_heads, 0, block_size), dtype=np.float32)
+            self._key_scales = np.zeros((num_heads, 0, block_size), dtype=np.float32)  # guarded-by: self._lock
+            self._value_scales = np.zeros((num_heads, 0, block_size), dtype=np.float32)  # guarded-by: self._lock
         self._initial_blocks = max(int(initial_blocks), 1)
-        self.blocks_in_use = 0
+        self.blocks_in_use = 0  # guarded-by: self._lock
         #: High-water mark of blocks simultaneously referenced, for the
         #: paged-KV benchmark's bytes accounting.
-        self.peak_blocks_in_use = 0
+        self.peak_blocks_in_use = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------ #
     # sizing
@@ -179,12 +181,19 @@ class BlockAllocator:
     @property
     def num_blocks(self) -> int:
         """Blocks currently backed by storage (in use + free-listed)."""
-        return self._keys.shape[1]
+        with self._lock:
+            return self._keys.shape[1]
 
     @property
     def block_bytes(self) -> int:
-        """Resident bytes of one block (keys + values + scales)."""
-        per_pos = self.num_heads * self.head_dim * self._keys.dtype.itemsize
+        """Resident bytes of one block (keys + values + scales).
+
+        Pure function of the immutable geometry set in ``__init__`` —
+        deliberately lock-free so the pool's byte accounting can call it
+        while holding its own lock without taking this allocator's.
+        """
+        itemsize = 4 if self.kv_dtype == "fp32" else 1
+        per_pos = self.num_heads * self.head_dim * itemsize
         scales = 0
         if self.kv_dtype == "int8":
             scales = 2 * self.num_heads * 4  # fp32 key + value scale per position
@@ -192,13 +201,15 @@ class BlockAllocator:
 
     @property
     def bytes_in_use(self) -> int:
-        return self.blocks_in_use * self.block_bytes
+        with self._lock:
+            return self.blocks_in_use * self.block_bytes
 
     @property
     def peak_bytes_in_use(self) -> int:
-        return self.peak_blocks_in_use * self.block_bytes
+        with self._lock:
+            return self.peak_blocks_in_use * self.block_bytes
 
-    def _grow_storage(self, needed: int) -> None:
+    def _grow_storage(self, needed: int) -> None:  # guarded-by: self._lock
         have = self.num_blocks
         if needed <= have:
             return
@@ -501,7 +512,7 @@ class BlockAllocator:
         """
         k = np.asarray(k)
         v = np.asarray(v)
-        store = self._keys.dtype
+        store = np.dtype(np.float32 if self.kv_dtype == "fp32" else np.int8)
         expected_tail = (self.head_dim,)
         if (
             k.shape != v.shape
@@ -899,6 +910,7 @@ class PagedLayerKVCache:
             self.tables[row], start - row_start, stop - row_start
         )
 
+    # table-edit
     def _shrink_row(self, row: int, drop: int) -> None:
         """Drop ``drop`` positions off the end of one row's filled span.
 
@@ -919,6 +931,7 @@ class PagedLayerKVCache:
             del self.tables[row][keep:]
         self.widths[row] = new_width
 
+    # table-edit
     def truncate(self, length: int) -> None:
         """Roll back to ``length`` filled positions; freed flushed tail
         blocks are released (shared blocks just drop one reference)."""
@@ -966,11 +979,13 @@ class PagedLayerKVCache:
             self._ws_k[row, :, drop : self.length] = self._ws_k[row, :, :length].copy()
             self._ws_v[row, :, drop : self.length] = self._ws_v[row, :, :length].copy()
 
+    # table-edit
     def grow(self, capacity: int) -> None:
         """Raise the logical column capacity.  Blocks are allocated on
         demand and the workspace grows on first need, so this is free."""
         self._capacity = max(self._capacity, capacity)
 
+    # table-edit
     def release(self) -> None:
         """Drop every block reference and the workspace (idempotent).
 
@@ -1085,16 +1100,19 @@ class PagedKVCache:
     def kv_dtype(self) -> str:
         return self.allocator.kv_dtype
 
+    # table-edit
     def truncate(self, length: int) -> None:
         for layer in self.layers:
             layer.truncate(length)
 
+    # table-edit
     def truncate_row(self, row: int, length: int) -> None:
         """Roll one row back to ``length`` positions in every layer
         (speculative-decode rollback; batch neighbours untouched)."""
         for layer in self.layers:
             layer.truncate_row(row, length)
 
+    # table-edit
     def grow(self, capacity: int) -> None:
         for layer in self.layers:
             layer.grow(capacity)
@@ -1429,6 +1447,7 @@ class PagedKVCache:
                         own.flush_row(row)
         return start
 
+    # table-edit
     def retire_rows(self, keep: np.ndarray) -> None:
         """Drop every row not listed in ``keep``: the persistent state is a
         pure table edit (dropped rows' blocks are dereferenced, unflushed

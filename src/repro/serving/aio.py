@@ -64,6 +64,7 @@ from typing import AsyncIterator, Callable, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitize import maybe_watch_lock
 from repro.models.decoder import DecoderLM, PrefixCachedScorer
 from repro.serving.config import EngineConfig
 from repro.serving.engine import (
@@ -296,17 +297,22 @@ class AsyncEngine:
         )
         self._scorer = PrefixCachedScorer(model, pool=self.cache_pool)
         self.on_step = on_step
-        self._lock = threading.Lock()
+        self._lock = maybe_watch_lock("aio", threading.Lock())
         self._work = threading.Condition(self._lock)
-        self._inbox: deque[AsyncRequest] = deque()
-        self._scores: deque[AsyncRequest] = deque()
+        self._inbox: deque[AsyncRequest] = deque()  # guarded-by: self._lock
+        self._scores: deque[AsyncRequest] = deque()  # guarded-by: self._lock
         #: Generate requests handed to the inner engine and not yet resolved,
-        #: keyed by the inner EngineRequest's id.
+        #: keyed by the inner EngineRequest's id.  Owned by the stepping
+        #: thread: only ``_step_loop`` and its helpers mutate it, always on
+        #: that single thread, so it is deliberately *not* lock-annotated —
+        #: cross-thread readers take only GIL-atomic snapshots
+        #: (``len``/``list``) whose staleness is inherent to observing a
+        #: concurrently stepping engine.
         self._active: dict[int, AsyncRequest] = {}
-        self._closing: str | None = None  # None | "drain" | "abort"
-        self._thread: threading.Thread | None = None
-        self._parked = False
-        self._next_id = 0
+        self._closing: str | None = None  # guarded-by: self._lock
+        self._thread: threading.Thread | None = None  # guarded-by: self._lock
+        self._parked = False  # guarded-by: self._lock
+        self._next_id = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -324,7 +330,8 @@ class AsyncEngine:
 
     @property
     def closed(self) -> bool:
-        return self._closing is not None
+        with self._lock:
+            return self._closing is not None
 
     # ------------------------------------------------------------------ #
     # submission (any thread)
@@ -658,7 +665,7 @@ class AsyncEngine:
     # ------------------------------------------------------------------ #
     # the stepping thread
     # ------------------------------------------------------------------ #
-    def _ensure_thread(self) -> None:
+    def _ensure_thread(self) -> None:  # guarded-by: self._lock
         """Start the stepping thread lazily (caller holds the lock).
 
         The thread target holds only a weak reference between iterations
@@ -674,8 +681,9 @@ class AsyncEngine:
             )
             self._thread.start()
 
-    def _earliest_deadline(self) -> float | None:
-        """Soonest per-request deadline across inbox/scores/active, if any."""
+    def _earliest_deadline(self) -> float | None:  # guarded-by: self._lock
+        """Soonest per-request deadline across inbox/scores/active, if any
+        (caller holds the lock)."""
         deadlines = [
             r.deadline
             for r in list(self._inbox) + list(self._scores) + list(self._active.values())

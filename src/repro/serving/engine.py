@@ -201,6 +201,15 @@ class EngineStats(SchedulerStats):
     The inherited :class:`SchedulerStats` fields keep their meaning at the
     engine's granularity: ``generate_batches`` counts admission groups and
     ``batch_sizes`` their row counts.
+
+    Thread contract: all *writes* happen on the thread driving the engine
+    (the async stepping thread, or the caller of a synchronous engine).
+    Readers on other threads — ``/metrics``, ``sla_summary`` — see
+    GIL-atomic scalar loads and list appends, so individual values are
+    always well-formed but a summary is not a single consistent cut across
+    fields; the aggregate methods snapshot each list exactly once (via
+    ``list(...)``) so a summary computed mid-step never sees a list mutate
+    under an ongoing reduction.
     """
 
     steps: int = 0
@@ -266,11 +275,13 @@ class EngineStats(SchedulerStats):
 
     @property
     def mean_queue_seconds(self) -> float:
-        return float(np.mean(self.queue_seconds)) if self.queue_seconds else 0.0
+        values = list(self.queue_seconds)  # snapshot: stepper appends live
+        return float(np.mean(values)) if values else 0.0
 
     @property
     def mean_ttft_seconds(self) -> float:
-        return float(np.mean(self.ttft_seconds)) if self.ttft_seconds else 0.0
+        values = list(self.ttft_seconds)  # snapshot: stepper appends live
+        return float(np.mean(values)) if values else 0.0
 
     def stall_histogram(self) -> dict:
         """Distribution of piggybacked prefill tokens per scheduling step.
@@ -283,7 +294,8 @@ class EngineStats(SchedulerStats):
         """
         labels = ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64+"]
         counts = dict.fromkeys(labels, 0)
-        for tokens in self.step_prefill_tokens:
+        # Snapshot once: the stepping thread appends concurrently.
+        for tokens in list(self.step_prefill_tokens):
             tokens = int(tokens)
             if tokens <= 0:
                 counts["0"] += 1
@@ -295,19 +307,35 @@ class EngineStats(SchedulerStats):
         return counts
 
     def sla_summary(self) -> dict:
-        """Aggregate SLA view (means; per-request values sit on the handles)."""
+        """Aggregate SLA view (means; per-request values sit on the handles).
+
+        Safe to call from a thread other than the stepping thread: every
+        list is snapshotted exactly once before reduction (see the class
+        docstring's thread contract).
+        """
+        queue_seconds = list(self.queue_seconds)
+        prefill_seconds = list(self.prefill_seconds)
+        ttft_seconds = list(self.ttft_seconds)
+        decode_steps = list(self.decode_steps)
+        chunks_per_request = list(self.chunks_per_request)
+        step_prefill_tokens = list(self.step_prefill_tokens)
+        step_decode_rows = list(self.step_decode_rows)
         return {
             "requests": self.finished,
             "steps": self.steps,
             "mean_rows_per_step": self.mean_rows_per_step,
             "peak_rows": self.peak_rows,
-            "mean_queue_seconds": self.mean_queue_seconds,
-            "mean_prefill_seconds": (
-                float(np.mean(self.prefill_seconds)) if self.prefill_seconds else 0.0
+            "mean_queue_seconds": (
+                float(np.mean(queue_seconds)) if queue_seconds else 0.0
             ),
-            "mean_ttft_seconds": self.mean_ttft_seconds,
+            "mean_prefill_seconds": (
+                float(np.mean(prefill_seconds)) if prefill_seconds else 0.0
+            ),
+            "mean_ttft_seconds": (
+                float(np.mean(ttft_seconds)) if ttft_seconds else 0.0
+            ),
             "mean_decode_steps": (
-                float(np.mean(self.decode_steps)) if self.decode_steps else 0.0
+                float(np.mean(decode_steps)) if decode_steps else 0.0
             ),
             "drafted_tokens": self.drafted_tokens,
             "accepted_draft_tokens": self.accepted_draft_tokens,
@@ -322,19 +350,13 @@ class EngineStats(SchedulerStats):
             "prefill_tokens": self.prefill_tokens,
             "prefill_chunks": self.prefill_chunks,
             "mean_prefill_chunks": (
-                float(np.mean(self.chunks_per_request))
-                if self.chunks_per_request
-                else 0.0
+                float(np.mean(chunks_per_request)) if chunks_per_request else 0.0
             ),
             "mean_step_prefill_tokens": (
-                float(np.mean(self.step_prefill_tokens))
-                if self.step_prefill_tokens
-                else 0.0
+                float(np.mean(step_prefill_tokens)) if step_prefill_tokens else 0.0
             ),
             "mean_step_decode_rows": (
-                float(np.mean(self.step_decode_rows))
-                if self.step_decode_rows
-                else 0.0
+                float(np.mean(step_decode_rows)) if step_decode_rows else 0.0
             ),
             "prefill_stall_histogram": self.stall_histogram(),
         }

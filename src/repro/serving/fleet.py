@@ -200,7 +200,13 @@ class FleetRequest:
 @dataclass
 class FleetStats:
     """Router-level counters (per-replica engine/pool counters live in the
-    workers; aggregate them with :meth:`ReplicaFleet.worker_stats`)."""
+    workers; aggregate them with :meth:`ReplicaFleet.worker_stats`).
+
+    Thread contract: single-writer — only the thread calling the fleet's
+    ``submit``/result-draining methods increments these.  Other threads
+    (``/metrics``) read GIL-atomic integer loads, so values are always
+    well-formed but a multi-field snapshot is not one consistent cut.
+    """
 
     submitted: int = 0
     finished: int = 0

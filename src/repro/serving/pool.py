@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.sanitize import maybe_watch_lock
 from repro.models.decoder import DecoderLM, common_prefix_length
 from repro.nn import KVCache
 from repro.nn.paged import PagedKVCache, validate_kv_config
@@ -90,10 +91,11 @@ class _PoolEntry:
 
 
 #: Process-wide pools, one per model instance (dropped with the model).
+# guarded-by: _SHARED_POOLS_LOCK
 _SHARED_POOLS: "weakref.WeakKeyDictionary[DecoderLM, PrefixCachePool]" = (
     weakref.WeakKeyDictionary()
 )
-_SHARED_POOLS_LOCK = threading.Lock()
+_SHARED_POOLS_LOCK = maybe_watch_lock("shared-pools", threading.Lock())
 
 
 class PrefixCachePool:
@@ -143,10 +145,10 @@ class PrefixCachePool:
         self.kv_layout = kv_layout
         self.kv_dtype = kv_dtype
         self.stats = PoolStats()
-        self._entries: OrderedDict[int, _PoolEntry] = OrderedDict()
+        self._entries: OrderedDict[int, _PoolEntry] = OrderedDict()  # guarded-by: self._lock
         #: Keys of entries protected from LRU eviction (see :meth:`pin`).
-        self._pinned: set[int] = set()
-        self._lock = threading.RLock()
+        self._pinned: set[int] = set()  # guarded-by: self._lock
+        self._lock = maybe_watch_lock("pool", threading.RLock())
 
     def _new_cache(self):
         """An empty full-context cache in this pool's configured layout."""
@@ -184,7 +186,8 @@ class PrefixCachePool:
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def _key(ids: np.ndarray) -> int:
@@ -231,7 +234,7 @@ class PrefixCachePool:
         with self._lock:
             return len(self._pinned)
 
-    def _evict_over_budget(self) -> None:
+    def _evict_over_budget(self) -> None:  # guarded-by: self._lock
         """Evict least-recently-used *unpinned* entries until within the
         entry-count and byte budgets (caller holds the lock).
 
@@ -261,7 +264,7 @@ class PrefixCachePool:
         with self._lock:
             return self._resident_bytes()
 
-    def _resident_bytes(self) -> int:
+    def _resident_bytes(self) -> int:  # guarded-by: self._lock
         total = 0
         shared_blocks: dict[int, set[int]] = {}
         allocators: dict[int, object] = {}

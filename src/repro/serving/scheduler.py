@@ -91,7 +91,9 @@ class BatchScheduler:
         self,
         model: DecoderLM,
         *,
-        max_batch_size: int | None = None,
+        # Documented adapter knob predating EngineConfig: maps 1:1 onto
+        # config.max_batch_rows for callers of the PR-1 scheduler API.
+        max_batch_size: int | None = None,  # lint: allow RPR004
         cache_pool: PrefixCachePool | None = None,
         rng: np.random.Generator | int | None = None,
         config=None,

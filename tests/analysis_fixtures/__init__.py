@@ -1,0 +1,6 @@
+"""Seeded-violation fixtures for the repro.analysis lint rules.
+
+Each ``rprNNN_bad.py`` trips exactly its rule; the ``rprNNN_clean.py``
+twin exercises the same shape without violating it.  These files are lint
+*inputs*, never imported by tests (some would be unsafe to run).
+"""

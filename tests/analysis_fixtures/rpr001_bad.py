@@ -1,0 +1,9 @@
+"""RPR001 fixture: builtin ``hash()`` on a persisted key (seeded violation)."""
+
+_CACHE = {}
+
+
+def remember(ids) -> int:
+    key = hash(ids.tobytes())
+    _CACHE[key] = ids
+    return key

@@ -1,0 +1,21 @@
+"""RPR001 twin: process-stable digests (and one justified inline allow)."""
+
+import hashlib
+import zlib
+
+_CACHE = {}
+
+
+def remember(ids) -> int:
+    key = int.from_bytes(hashlib.blake2b(ids.tobytes(), digest_size=8).digest(), "big")
+    _CACHE[key] = ids
+    return key
+
+
+def checksum(payload: bytes) -> int:
+    return zlib.crc32(payload)
+
+
+def ephemeral_bucket(token: str) -> int:
+    # In-process only, never persisted or compared across processes.
+    return hash(token) % 8  # lint: allow RPR001

@@ -1,0 +1,16 @@
+"""RPR002 fixture: guarded attribute touched without the lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict = {}  # guarded-by: self._lock
+
+    def add(self, key, value) -> None:
+        with self._lock:
+            self._items[key] = value
+
+    def size(self) -> int:
+        return len(self._items)

@@ -1,0 +1,27 @@
+"""RPR002 twin: every touch under the lock, a caller-holds-lock helper,
+and a Condition aliasing the same lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items: dict = {}  # guarded-by: self._lock
+
+    def add(self, key, value) -> None:
+        with self._lock:
+            self._items[key] = value
+
+    def add_and_wake(self, key, value) -> None:
+        with self._ready:  # Condition shares self._lock
+            self._items[key] = value
+            self._ready.notify_all()
+
+    def size(self) -> int:
+        with self._lock:
+            return self._count()
+
+    def _count(self) -> int:  # guarded-by: self._lock
+        return len(self._items)

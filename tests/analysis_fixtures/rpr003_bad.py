@@ -1,0 +1,9 @@
+"""RPR003 fixture: bare mutable module global in a thread-shared module."""
+
+import threading
+
+_RESULTS: dict = {}
+
+
+def record(worker: threading.Thread, value) -> None:
+    _RESULTS[worker.name] = value

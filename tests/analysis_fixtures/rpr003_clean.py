@@ -1,0 +1,19 @@
+"""RPR003 twin: lock-annotated global used under its lock, plus a
+thread-local."""
+
+import threading
+
+_RESULTS_LOCK = threading.Lock()
+_RESULTS: dict = {}  # guarded-by: _RESULTS_LOCK
+_SCRATCH = threading.local()
+
+
+def record(worker: threading.Thread, value) -> None:
+    with _RESULTS_LOCK:
+        _RESULTS[worker.name] = value
+
+
+def scratch() -> list:
+    if not hasattr(_SCRATCH, "items"):
+        _SCRATCH.items = []
+    return _SCRATCH.items

@@ -1,0 +1,13 @@
+"""RPR004 fixture: a serving constructor growing a bare option beside
+EngineConfig."""
+
+
+class EngineConfig:
+    pass
+
+
+class ToyEngine:
+    def __init__(self, model, *, config=None, shiny_new_knob: int = 3) -> None:
+        self.model = model
+        self.config = config or EngineConfig()
+        self.shiny_new_knob = shiny_new_knob

@@ -1,0 +1,14 @@
+"""RPR004 twin: new options ride in EngineConfig; only infra params are
+bare."""
+
+
+class EngineConfig:
+    shiny_new_knob: int = 3
+
+
+class ToyEngine:
+    def __init__(self, model, *, config=None, cache_pool=None, clock=None) -> None:
+        self.model = model
+        self.config = config or EngineConfig()
+        self.cache_pool = cache_pool
+        self.clock = clock

@@ -1,0 +1,14 @@
+"""RPR005 fixture: array copies inside a ``# table-edit`` function."""
+
+import numpy as np
+
+
+class Table:
+    def __init__(self) -> None:
+        self.rows = np.zeros((4, 8))
+        self.blocks: list = [[] for _ in range(4)]
+
+    # table-edit
+    def retire(self, keep) -> None:
+        self.rows = np.concatenate([self.rows[i : i + 1] for i in keep])
+        self.blocks = [list(self.blocks[i]).copy() for i in keep]

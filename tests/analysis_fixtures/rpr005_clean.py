@@ -1,0 +1,17 @@
+"""RPR005 twin: the table edit moves bookkeeping only; the unannotated
+helper may copy freely."""
+
+import numpy as np
+
+
+class Table:
+    def __init__(self) -> None:
+        self.rows = np.zeros((4, 8))
+        self.blocks: list = [[] for _ in range(4)]
+
+    # table-edit
+    def retire(self, keep) -> None:
+        self.blocks = [self.blocks[i] for i in keep]
+
+    def snapshot(self) -> np.ndarray:
+        return self.rows.copy()

@@ -32,3 +32,34 @@ def registry(tokenizer, small_dataset):
     """A registry with very light synthetic pre-training (fast)."""
     corpus = small_dataset.train.sentences()[:120]
     return ModelRegistry(tokenizer, corpus, pretrain_steps=3, seed=0)
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_invariants():
+    """Per-test concurrency/resource invariants under ``REPRO_SANITIZE=1``.
+
+    When the runtime sanitizers are enabled (see ``docs/analysis.md``),
+    every test must leave the process with (a) an acyclic lock-acquisition
+    graph — a cycle is a latent deadlock even if this run never hung —
+    and (b) no block-allocator growth that survives garbage collection:
+    caches created by the test must have released every block reference.
+    Disabled (the default), this fixture is a no-op.
+    """
+    from repro.analysis import sanitize
+
+    if not sanitize.enabled():
+        yield
+        return
+    import gc
+
+    before = {s: s.blocks_in_use for s in sanitize.live_sanitizers()}
+    yield
+    gc.collect()
+    sanitize.global_watcher().assert_acyclic()
+    leaks = []
+    for s in sanitize.live_sanitizers():
+        baseline = before.get(s, 0)
+        if s.blocks_in_use > baseline:
+            leaks.append(s.leak_report(expected_in_use=baseline))
+    if leaks:
+        pytest.fail("BlockSanitizer leak(s):\n" + "\n".join(filter(None, leaks)))
